@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the artifact benches: command-line handling and
+ * the paper-reference annotations printed next to measured values.
+ */
+
+#ifndef UASIM_BENCH_BENCH_UTIL_HH
+#define UASIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace uasim::bench {
+
+/// Parse "--execs N" / "--frames N" style flags with a default.
+inline int
+intFlag(int argc, char **argv, const char *name, int def)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return std::atoi(argv[i + 1]);
+    }
+    return def;
+}
+
+inline bool
+boolFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace uasim::bench
+
+#endif // UASIM_BENCH_BENCH_UTIL_HH

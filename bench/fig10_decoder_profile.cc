@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fig 10 reproduction: per-stage execution-time profile of the full
+ * decoder for the scalar / Altivec / unaligned builds over the four
+ * contents, plus the average.
+ *
+ * Methodology mirrors the paper's: it *estimated* full-application
+ * impact from profiling. Here the functional decoder produces exact
+ * per-stage work counts, the pipeline simulator prices each kernel
+ * invocation on the 4-way core, and stage time = counts x costs
+ * (scaled to seconds at a nominal 2.0 GHz). "Others" is the
+ * variant-invariant glue measured as a fixed share of the scalar run.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/report.hh"
+#include "decoder/codec.hh"
+#include "decoder/profile.hh"
+
+using namespace uasim;
+using dec::StageCounts;
+
+int
+main(int argc, char **argv)
+{
+    const int frames = bench::intFlag(argc, argv, "--frames", 4);
+    const int qp = bench::intFlag(argc, argv, "--qp", 34);
+    const bool full = bench::boolFlag(argc, argv, "--full-res");
+    const double hz = 2.0e9;
+
+    // Functional decodes are cheap; default to CIF-ish size so the
+    // bench finishes quickly, switchable to the paper's 576p.
+    video::Resolution res = full ? video::resolutions[0]
+                                 : video::Resolution{352, 288, "cif"};
+
+    std::printf("== Fig 10: profiling of scalar, altivec and altivec+"
+                "unaligned H.264 decoder ==\n(%dx%d, %d frames/seq, "
+                "qp %d, 4-way core, %.1f GHz; seconds per run)\n\n",
+                res.width, res.height, frames, qp, hz / 1e9);
+
+    // Stage costs per variant (measured once, shared by sequences).
+    auto core = timing::CoreConfig::fourWayOoO();
+    core.lat.unalignedLoadExtra = 1;   // the proposed network
+    core.lat.unalignedStoreExtra = 2;
+    dec::StageCosts costs[3];
+    for (int v = 0; v < h264::numVariants; ++v)
+        costs[v] = dec::measureStageCosts(
+            static_cast<h264::Variant>(v), core);
+
+    core::TextTable t;
+    t.header({"sequence", "variant", "MC", "IDCT", "Deb.Filter",
+              "CABAC", "VideoOut", "Others", "TOTAL", "vs scalar"});
+
+    dec::StageCounts avg_counts;
+    const video::Content contents[] = {
+        video::Content::BlueSky, video::Content::Pedestrian,
+        video::Content::Riverbed, video::Content::RushHour};
+
+    auto emit_rows = [&](const std::string &name,
+                         const StageCounts &counts) {
+        double scalar_total = 0;
+        double scalar_seconds = 0;
+        for (int v = 0; v < h264::numVariants; ++v) {
+            // Others: fixed 8% of the scalar stage subtotal, the same
+            // absolute cycles in every variant.
+            auto probe = dec::estimateProfile(counts, costs[v], 0.0);
+            if (v == 0)
+                scalar_total = probe.totalCycles();
+            double others = 0.08 * scalar_total;
+            auto est = dec::estimateProfile(counts, costs[v], others);
+            double total_s = est.seconds(hz);
+            if (v == 0)
+                scalar_seconds = total_s;
+            t.row({name,
+                   std::string(h264::variantName(
+                       static_cast<h264::Variant>(v))),
+                   core::fmt(est.mc / hz, 3),
+                   core::fmt(est.idct / hz, 3),
+                   core::fmt(est.deblock / hz, 3),
+                   core::fmt(est.cabac / hz, 3),
+                   core::fmt(est.videoOut / hz, 3),
+                   core::fmt(est.others / hz, 3),
+                   core::fmt(total_s, 3),
+                   core::fmt(scalar_seconds / total_s) + "x"});
+        }
+        t.row({"", "", "", "", "", "", "", "", "", ""});
+    };
+
+    for (auto content : contents) {
+        dec::CodecConfig cfg;
+        cfg.seq = video::makeParams(content, res);
+        cfg.qp = qp;
+        cfg.frames = frames;
+        dec::MiniEncoder enc(cfg);
+        dec::MiniDecoder decd(cfg);
+        StageCounts counts;
+        for (int f = 0; f < frames; ++f)
+            decd.decodeFrame(enc.encodeFrame(f), counts);
+        avg_counts += counts;
+        emit_rows(std::string(video::contentName(content)), counts);
+    }
+    emit_rows("AVG", avg_counts);
+
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Paper reference (section V-D): Altivec is ~1.2X over scalar; "
+        "unaligned\ninstructions add ~1.2X over plain Altivec (~1.49X "
+        "over scalar on average);\nriverbed-style content benefits "
+        "least because few blocks are inter-coded,\nso MC matters "
+        "less.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig 8 reproduction: kernel speedups with unaligned load/store
+ * support. Every kernel/block-size is simulated in the three variants
+ * on the three Table II cores; bars are normalized to the 2-way
+ * scalar version, exactly like the paper's figure. Unaligned accesses
+ * run at aligned latency (the paper's upper-bound experiment; Fig 9
+ * covers the latency sweep).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace uasim;
+using core::KernelBench;
+using h264::Variant;
+
+int
+main(int argc, char **argv)
+{
+    const int execs = bench::intFlag(argc, argv, "--execs", 300);
+    std::printf("== Fig 8: speed-up in kernels with support for "
+                "unaligned load and stores ==\n(%d executions per "
+                "point; normalized to the 2-way scalar version)\n\n",
+                execs);
+
+    const char *group_break[] = {"chroma4x4", "idct4x4_matrix"};
+
+    core::TextTable t;
+    t.header({"kernel", "core", "scalar", "altivec", "unaligned",
+              "unal/altivec"});
+
+    for (const auto &spec : core::paperKernelGrid()) {
+        KernelBench bench(spec);
+        double base = 0;
+        for (int c = 0; c < 3; ++c) {
+            auto cfg = timing::CoreConfig::preset(c);
+            double cyc[h264::numVariants];
+            for (int v = 0; v < h264::numVariants; ++v) {
+                auto res = bench.simulate(static_cast<Variant>(v), cfg,
+                                          execs);
+                cyc[v] = double(res.cycles);
+            }
+            if (c == 0)
+                base = cyc[0];
+            t.row({spec.name(), cfg.name, core::fmt(base / cyc[0]),
+                   core::fmt(base / cyc[1]), core::fmt(base / cyc[2]),
+                   core::fmt(cyc[1] / cyc[2])});
+        }
+        for (const char *b : group_break) {
+            if (spec.name() == b)
+                t.row({"", "", "", "", "", ""});
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf(
+        "Paper reference (section V-B): luma unaligned gains 1.9X/2.6X"
+        "/2.1X over\nplain Altivec for 16x16/8x8/4x4; scalar beats "
+        "plain Altivec for luma 4x4;\nchroma ~1.1-1.25X; IDCT only "
+        "1.06-1.09X (inputs already aligned); SAD ~1.16X\naverage with "
+        "the largest gains on the 2-way.\n");
+    return 0;
+}

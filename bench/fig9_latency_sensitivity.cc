@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 9 reproduction: impact of the realignment-network latency. The
+ * unaligned variant is simulated on the 4-way core with 0/+1/+2/+4/+6
+ * extra cycles on dynamically unaligned lvxu/stvxu, and reported as
+ * speedup over the plain Altivec version (whose cycles are latency-
+ * independent).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace uasim;
+using core::KernelBench;
+using h264::Variant;
+
+int
+main(int argc, char **argv)
+{
+    const int execs = bench::intFlag(argc, argv, "--execs", 300);
+    const int extras[] = {0, 1, 2, 4, 6};
+
+    std::printf("== Fig 9: performance impact of the latency of "
+                "unaligned load and stores ==\n(4-way core, %d "
+                "executions; values are speedup of the unaligned\n"
+                "version over plain Altivec at each extra latency)\n\n",
+                execs);
+
+    core::TextTable t;
+    t.header({"kernel", "equal_lat", "+1cyc", "+2cyc", "+4cyc",
+              "+6cyc"});
+
+    for (const auto &spec : core::paperKernelGrid()) {
+        KernelBench bench(spec);
+        auto base_cfg = timing::CoreConfig::fourWayOoO();
+        auto altivec = bench.simulate(Variant::Altivec, base_cfg,
+                                      execs);
+        std::vector<std::string> cells{spec.name()};
+        for (int extra : extras) {
+            auto cfg = timing::CoreConfig::fourWayOoO();
+            cfg.lat.unalignedLoadExtra = extra;
+            cfg.lat.unalignedStoreExtra = extra;
+            auto unal = bench.simulate(Variant::Unaligned, cfg, execs);
+            cells.push_back(core::fmt(double(altivec.cycles) /
+                                      double(unal.cycles)));
+        }
+        t.row(cells);
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf(
+        "Paper reference (section V-C): most kernels keep a clear "
+        "speedup through\n+1/+2 cycles (the proposed network costs "
+        "+1 load / +2 store); chroma 8x8\nand SAD 16x16 approach or "
+        "cross 1.0 at the largest extra latencies; the\nIDCT barely "
+        "moves; the matrix IDCT tolerates latency best.\n");
+    return 0;
+}

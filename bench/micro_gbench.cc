@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: emulation
+ * facade throughput, cache model, pipeline simulator speed, and
+ * end-to-end traced kernels. These gate simulator performance, not
+ * the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "h264/cabac.hh"
+#include "mem/hierarchy.hh"
+#include "timing/pipeline.hh"
+#include "trace/emitter.hh"
+#include "vmx/buffer.hh"
+#include "vmx/realign.hh"
+#include "vmx/vecops.hh"
+#include "video/rng.hh"
+
+using namespace uasim;
+
+namespace {
+
+void
+BM_EmitterThroughput(benchmark::State &state)
+{
+    trace::CountingSink sink;
+    trace::Emitter em(sink);
+    for (auto _ : state) {
+        auto d = em.emit(trace::InstrClass::IntAlu,
+                         std::source_location::current());
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitterThroughput);
+
+void
+BM_VecOpsPerm(benchmark::State &state)
+{
+    trace::NullSink sink;
+    trace::Emitter em(sink);
+    vmx::VecOps vo(em);
+    vmx::Vec a, b, m;
+    for (int i = 0; i < 16; ++i)
+        m.b[i] = std::uint8_t(31 - i);
+    for (auto _ : state) {
+        a = vo.vperm(a, b, m);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VecOpsPerm);
+
+void
+BM_SwLoadU(benchmark::State &state)
+{
+    trace::NullSink sink;
+    trace::Emitter em(sink);
+    vmx::VecOps vo(em);
+    vmx::AlignedBuffer buf(4096, 5);
+    for (auto _ : state) {
+        auto v = vmx::swLoadU(vo, vmx::CPtr{buf.data()}, 16);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwLoadU);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache({"L1", 32 * 1024, 128, 2});
+    video::Rng rng(1);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.below(1 << 22);
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PipelineSimInstrRate(benchmark::State &state)
+{
+    // How many instructions per second can the timing model consume?
+    timing::CoreConfig cfg = timing::CoreConfig::preset(
+        int(state.range(0)));
+    vmx::AlignedBuffer buf(65536, 0);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        timing::PipelineSim sim(cfg);
+        trace::Emitter em(sim);
+        vmx::ScalarOps so(em);
+        state.ResumeTiming();
+        vmx::CPtr p = so.lip(buf.data());
+        vmx::SInt acc = so.li(0);
+        for (int i = 0; i < 2000; ++i) {
+            vmx::SInt x = so.loadU8(p, i % 4096);
+            acc = so.add(acc, x);
+            if ((i & 15) == 15)
+                so.loopBranch(i + 1 < 2000);
+        }
+        sim.finalize();
+        n += em.count();
+    }
+    state.SetItemsProcessed(int64_t(n));
+}
+BENCHMARK(BM_PipelineSimInstrRate)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_TracedKernel(benchmark::State &state)
+{
+    core::KernelSpec spec{h264::KernelId::Sad, 16, false};
+    core::KernelBench bench(spec);
+    trace::CountingSink sink;
+    trace::Emitter em(sink);
+    h264::KernelCtx ctx(em);
+    int iter = 0;
+    for (auto _ : state)
+        bench.runOnce(ctx, h264::Variant::Unaligned, iter++);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracedKernel);
+
+void
+BM_CabacEncodeDecode(benchmark::State &state)
+{
+    video::Rng rng(3);
+    for (auto _ : state) {
+        h264::CabacEncoder enc;
+        h264::CabacContext ctx;
+        for (int i = 0; i < 1000; ++i)
+            enc.encodeBin(ctx, rng.chance(0.3) ? 1 : 0);
+        auto bits = enc.finish();
+        h264::CabacDecoder dec(bits.data(), bits.size());
+        h264::CabacContext dctx;
+        int sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            sum += dec.decodeBin(dctx);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_CabacEncodeDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table I reproduction: unaligned-access support across SIMD ISAs, as
+ * executable code. For each strategy we run the idiom over every
+ * alignment offset, verify the result, and report the measured
+ * instruction cost per unaligned load/store plus the simulated
+ * latency of a dependent-load chain on the 4-way core.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/report.hh"
+#include "timing/pipeline.hh"
+#include "trace/addrmap.hh"
+#include "trace/emitter.hh"
+#include "vmx/buffer.hh"
+#include "vmx/scalarops.hh"
+#include "vmx/strategies.hh"
+
+using namespace uasim;
+using vmx::RealignStrategy;
+
+namespace {
+
+/// Cycles per unaligned load in a dependent chain under @p strat.
+double
+chainLatency(RealignStrategy strat)
+{
+    timing::CoreConfig cfg = timing::CoreConfig::fourWayOoO();
+    // The paper's proposed network: +1 cycle loads, +2 cycle stores.
+    cfg.lat.unalignedLoadExtra = 1;
+    cfg.lat.unalignedStoreExtra = 2;
+    timing::PipelineSim sim(cfg);
+    trace::AddrNormalizer norm(sim);
+    vmx::AlignedBuffer buf(4096, 5);
+    norm.addRegion(buf.data(), buf.size(), 0x10000000);
+    trace::Emitter em(norm);
+    vmx::VecOps vo(em);
+    vmx::ScalarOps so(em);
+
+    const int n = 400;
+    vmx::CPtr p = so.lip(buf.data());
+    trace::Dep chain{};
+    for (int i = 0; i < n; ++i) {
+        vmx::CPtr q{p.p + 16 * (i % 64), chain};
+        vmx::Vec v = vmx::strategyLoadU(vo, strat, q, 1);
+        chain = v.dep;  // serialize: next load depends on this result
+    }
+    auto res = sim.finalize();
+    return double(res.cycles) / n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    std::printf("== Table I: support for unaligned loads in different "
+                "platforms ==\n");
+    std::printf("(instruction counts measured from the emitted idioms; "
+                "latency is a\n simulated dependent-load chain on the "
+                "4-way core, +1/+2 network)\n\n");
+
+    core::TextTable t;
+    t.header({"ISA / extension", "idiom", "ld instrs", "st instrs",
+              "chain cyc/load"});
+    for (int i = 0; i < int(RealignStrategy::NumStrategies); ++i) {
+        auto s = static_cast<RealignStrategy>(i);
+
+        // Verify the idiom over all offsets before reporting it.
+        trace::NullSink null;
+        trace::Emitter em(null);
+        vmx::VecOps vo(em);
+        bool ok = true;
+        for (int off = 0; off < 16 && ok; ++off) {
+            vmx::AlignedBuffer buf(64, off);
+            for (int k = 0; k < 64; ++k)
+                buf[k] = std::uint8_t(13 * k + 7);
+            vmx::Vec v = vmx::strategyLoadU(vo, s,
+                                            vmx::CPtr{buf.data()});
+            for (int k = 0; k < 16; ++k)
+                ok &= v.u8(k) == buf[k];
+        }
+
+        t.row({std::string(vmx::strategyIsa(s)),
+               std::string(vmx::strategyName(s)) +
+                   (ok ? "" : "  (BROKEN)"),
+               std::to_string(vmx::strategyLoadInstrs(s)),
+               std::to_string(vmx::strategyStoreInstrs(s)),
+               core::fmt(chainLatency(s), 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Paper reference: Altivec needs lvsl+2xlvx+vperm (4), "
+                "Cell lvlx/lvrx (3),\nSSE2 movdqu is microcoded, and "
+                "only the proposed lvxu/stvxu reach 1 instruction\nfor "
+                "both directions.\n");
+    return 0;
+}

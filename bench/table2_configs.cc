@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table II reproduction: the three simulated processor configurations.
+ */
+
+#include <cstdio>
+
+#include "core/report.hh"
+#include "timing/config.hh"
+
+using namespace uasim;
+
+int
+main()
+{
+    std::printf("== Table II: processor configurations used in the "
+                "simulation analysis ==\n\n");
+    core::TextTable t;
+    t.header({"parameter", "2-way", "4-way", "8-way"});
+
+    timing::CoreConfig c[3] = {timing::CoreConfig::twoWayInOrder(),
+                               timing::CoreConfig::fourWayOoO(),
+                               timing::CoreConfig::eightWayOoO()};
+
+    auto row3 = [&](const char *name, auto get) {
+        t.row({name, std::to_string(get(c[0])),
+               std::to_string(get(c[1])), std::to_string(get(c[2]))});
+    };
+
+    t.row({"issue policy", "in-order", "out-of-order", "out-of-order"});
+    row3("fetch-rename-dispatch", [](auto &x) { return x.fetchWidth; });
+    row3("retire", [](auto &x) { return x.retireWidth; });
+    row3("inflight", [](auto &x) { return x.inflight; });
+    row3("FX units", [](auto &x) { return x.units.fx; });
+    row3("FP units", [](auto &x) { return x.units.fp; });
+    row3("LS units", [](auto &x) { return x.units.ls; });
+    row3("BR units", [](auto &x) { return x.units.br; });
+    row3("VI units", [](auto &x) { return x.units.vi; });
+    row3("VPERM units", [](auto &x) { return x.units.vperm; });
+    row3("VCMPLX units", [](auto &x) { return x.units.vcmplx; });
+    row3("phys regs (per file)", [](auto &x) { return x.gprPhys; });
+    row3("BR issue queue", [](auto &x) { return x.branchQ; });
+    row3("issue queue", [](auto &x) { return x.issueQ; });
+    row3("ibuffer", [](auto &x) { return x.ibuffer; });
+    row3("D$ read ports", [](auto &x) { return x.dReadPorts; });
+    row3("D$ write ports", [](auto &x) { return x.dWritePorts; });
+    row3("max outstanding misses", [](auto &x) { return x.missMax; });
+
+    const auto &m = c[0].mem;
+    t.row({"L1-D", std::to_string(m.l1d.size / 1024) + "KB/" +
+                       std::to_string(m.l1d.assoc) + "way/" +
+                       std::to_string(m.l1d.lineSize) + "B",
+           "=", "="});
+    t.row({"L1-I", std::to_string(m.l1i.size / 1024) + "KB/" +
+                       std::to_string(m.l1i.assoc) + "way/" +
+                       std::to_string(m.l1i.lineSize) + "B",
+           "=", "="});
+    t.row({"L2 (I+D)", std::to_string(m.l2.size / 1024) + "KB/" +
+                           std::to_string(m.l2.assoc) + "way, " +
+                           std::to_string(m.l2Latency) + " cyc",
+           "=", "="});
+    t.row({"main memory", std::to_string(m.memLatency) + " cyc", "=",
+           "="});
+
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

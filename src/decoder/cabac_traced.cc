@@ -1,0 +1,123 @@
+#include "decoder/cabac_traced.hh"
+
+namespace uasim::dec {
+
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::SInt;
+
+namespace {
+
+// Table memory layout: lpsRange as u16[64][4], then transMps[64],
+// then transLps[64].
+constexpr int lpsBytes = 64 * 4 * 2;
+constexpr int transMpsOff = lpsBytes;
+constexpr int transLpsOff = lpsBytes + 64;
+
+} // namespace
+
+TracedCabacDecoder::TracedCabacDecoder(h264::KernelCtx &ctx,
+                                       const std::uint8_t *data,
+                                       std::size_t size, int num_ctxs)
+    : kctx_(&ctx), size_(size)
+{
+    auto &s = kctx_->so;
+    const auto &t = h264::CabacTables::get();
+
+    tableMem_.resize(transLpsOff + 64);
+    for (int st = 0; st < 64; ++st) {
+        for (int q = 0; q < 4; ++q) {
+            std::uint16_t v = t.lpsRange[st][q];
+            tableMem_[2 * (4 * st + q)] = std::uint8_t(v & 0xff);
+            tableMem_[2 * (4 * st + q) + 1] = std::uint8_t(v >> 8);
+        }
+        tableMem_[transMpsOff + st] = t.transMps[st];
+        tableMem_[transLpsOff + st] = t.transLps[st];
+    }
+    ctxMem_.assign(std::size_t(num_ctxs) * 2, 0);
+
+    data_ = s.lip(data);
+    tablePtr_ = s.lip(tableMem_.data());
+    ctxPtr_ = s.lip(ctxMem_.data());
+    range_ = s.li(510);
+    value_ = s.li(0);
+    bytePos_ = s.li(0);
+    bitPos_ = s.li(0);
+    for (int i = 0; i < 9; ++i) {
+        SInt bit = readBitTraced();
+        value_ = s.add(s.slli(value_, 1), bit);
+    }
+}
+
+SInt
+TracedCabacDecoder::readBitTraced()
+{
+    auto &s = kctx_->so;
+    // bit = (data[bytePos] >> (7 - bitPos)) & 1
+    SInt byte = s.loadU8x(data_, bytePos_);
+    SInt shift = s.subfi(7, bitPos_);
+    SInt bit = s.andi(s.srlv(byte, shift), 1);
+    // Advance the bit cursor: bitPos = (bitPos + 1) & 7, carry to
+    // bytePos when it wraps.
+    SInt next = s.addi(bitPos_, 1);
+    SInt wrapped = s.andi(next, 7);
+    SInt carry = s.srli(next, 3);
+    bitPos_ = wrapped;
+    bytePos_ = s.add(bytePos_, carry);
+    return bit;
+}
+
+int
+TracedCabacDecoder::decodeBin(int ctx_idx)
+{
+    auto &s = kctx_->so;
+    ++bins_;
+
+    // Load context state and MPS.
+    SInt idx2 = s.li(2 * ctx_idx);
+    SInt state = s.loadU8x(CPtr{ctxPtr_}, idx2);
+    SInt mps = s.loadU8x(CPtr{ctxPtr_}, s.addi(idx2, 1));
+
+    // lps = lpsRange[state][(range >> 6) & 3]
+    SInt q = s.andi(s.srli(range_, 6), 3);
+    SInt toff = s.slli(s.add(s.slli(state, 2), q), 1);
+    SInt lps_lo = s.loadU8x(tablePtr_, toff);
+    SInt lps_hi = s.loadU8x(tablePtr_, s.addi(toff, 1));
+    SInt lps = s.add(lps_lo, s.slli(lps_hi, 8));
+
+    range_ = s.sub(range_, lps);
+
+    int bin;
+    SInt is_lps = s.cmplt(range_, s.addi(value_, 1));  // value >= range
+    if (s.branch(is_lps)) {
+        value_ = s.sub(value_, range_);
+        range_ = lps;
+        bin = static_cast<int>(mps.v ^ 1);
+        SInt at_zero = s.cmpeq(state, s.li(0));
+        if (s.branch(at_zero)) {
+            s.storeU8(ctxPtr_, 2 * ctx_idx + 1, s.xor_(mps, s.li(1)));
+        } else {
+            SInt ns = s.loadU8x(tablePtr_,
+                                s.add(s.li(transLpsOff), state));
+            s.storeU8(ctxPtr_, 2 * ctx_idx, ns);
+        }
+    } else {
+        bin = static_cast<int>(mps.v);
+        SInt ns =
+            s.loadU8x(tablePtr_, s.add(s.li(transMpsOff), state));
+        s.storeU8(ctxPtr_, 2 * ctx_idx, ns);
+    }
+
+    // Renormalization loop: data-dependent trip count.
+    while (true) {
+        SInt small = s.cmplti(range_, 256);
+        if (!s.branch(small))
+            break;
+        SInt bit = readBitTraced();
+        range_ = s.slli(range_, 1);
+        value_ = s.add(s.slli(value_, 1), bit);
+    }
+    return bin;
+}
+
+} // namespace uasim::dec

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Traced scalar CABAC bin decoder.
+ *
+ * A faithful port of h264::CabacDecoder::decodeBin to the ScalarOps
+ * facade: table loads, context-state loads/stores, the data-dependent
+ * MPS/LPS branch and the renormalization loop all become trace
+ * records. This is how the Fig 10 model prices the entropy-decoding
+ * stage (CABAC is serial and stays scalar in all variants).
+ */
+
+#ifndef UASIM_DECODER_CABAC_TRACED_HH
+#define UASIM_DECODER_CABAC_TRACED_HH
+
+#include <vector>
+
+#include "h264/cabac.hh"
+#include "h264/kernels.hh"
+
+namespace uasim::dec {
+
+/**
+ * Traced arithmetic decoder over a real bitstream.
+ *
+ * Context states live in a small memory array (loads/stores traced);
+ * coder registers (range/value/position) are traced register values.
+ */
+class TracedCabacDecoder
+{
+  public:
+    /// @param num_ctxs number of adaptive contexts (state bytes).
+    TracedCabacDecoder(h264::KernelCtx &ctx, const std::uint8_t *data,
+                       std::size_t size, int num_ctxs);
+
+    /// Decode one bin under context @p ctx_idx; returns the bin.
+    int decodeBin(int ctx_idx);
+
+    /// Total bins decoded.
+    std::uint64_t bins() const { return bins_; }
+
+    /// @name Internal buffers (for trace address registration)
+    /// @{
+    const std::uint8_t *tableData() const { return tableMem_.data(); }
+    std::size_t tableSize() const { return tableMem_.size(); }
+    const std::uint8_t *ctxData() const { return ctxMem_.data(); }
+    std::size_t ctxSize() const { return ctxMem_.size(); }
+    /// @}
+
+  private:
+    vmx::SInt readBitTraced();
+
+    h264::KernelCtx *kctx_;
+    // Traced coder registers.
+    vmx::SInt range_, value_, bytePos_, bitPos_;
+    vmx::CPtr data_;
+    std::size_t size_;
+    // Context memory: [state, mps] byte pairs.
+    std::vector<std::uint8_t> ctxMem_;
+    vmx::Ptr ctxPtr_;
+    // Flattened probability tables in traced-readable memory.
+    std::vector<std::uint8_t> tableMem_;
+    vmx::CPtr tablePtr_;
+    std::uint64_t bins_ = 0;
+};
+
+} // namespace uasim::dec
+
+#endif // UASIM_DECODER_CABAC_TRACED_HH

@@ -1,0 +1,84 @@
+#include "decoder/transform.hh"
+
+#include <cstdlib>
+
+namespace uasim::dec {
+
+namespace {
+
+/// Position class: 0 for (even,even), 1 for (odd,odd), 2 mixed.
+inline int
+posClass(int i)
+{
+    int r = (i >> 2) & 1, c = i & 1;
+    if (!r && !c)
+        return 0;
+    if (r && c)
+        return 1;
+    return 2;
+}
+
+// Standard quantization multipliers (qp % 6 rows).
+constexpr int mf[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+
+// Standard dequantization scales.
+constexpr int vs[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+} // namespace
+
+void
+forward4x4(const std::int16_t in[16], std::int16_t out[16])
+{
+    int tmp[16];
+    // Rows: T = [1 1 1 1; 2 1 -1 -2; 1 -1 -1 1; 1 -2 2 -1].
+    for (int i = 0; i < 4; ++i) {
+        const std::int16_t *b = &in[4 * i];
+        int s03 = b[0] + b[3], d03 = b[0] - b[3];
+        int s12 = b[1] + b[2], d12 = b[1] - b[2];
+        tmp[4 * i + 0] = s03 + s12;
+        tmp[4 * i + 1] = 2 * d03 + d12;
+        tmp[4 * i + 2] = s03 - s12;
+        tmp[4 * i + 3] = d03 - 2 * d12;
+    }
+    for (int i = 0; i < 4; ++i) {
+        int s03 = tmp[i] + tmp[12 + i], d03 = tmp[i] - tmp[12 + i];
+        int s12 = tmp[4 + i] + tmp[8 + i], d12 = tmp[4 + i] - tmp[8 + i];
+        out[i] = static_cast<std::int16_t>(s03 + s12);
+        out[4 + i] = static_cast<std::int16_t>(2 * d03 + d12);
+        out[8 + i] = static_cast<std::int16_t>(s03 - s12);
+        out[12 + i] = static_cast<std::int16_t>(d03 - 2 * d12);
+    }
+}
+
+void
+quant4x4(const std::int16_t coeff[16], std::int16_t level[16], int qp)
+{
+    const int qbits = 15 + qp / 6;
+    const int f = (1 << qbits) / 3;  // intra-style rounding offset
+    const int rem = qp % 6;
+    for (int i = 0; i < 16; ++i) {
+        int c = coeff[i];
+        int m = mf[rem][posClass(i)];
+        int mag = (std::abs(c) * m + f) >> qbits;
+        level[i] = static_cast<std::int16_t>(c < 0 ? -mag : mag);
+    }
+}
+
+void
+dequant4x4(const std::int16_t level[16], std::int16_t out[16], int qp)
+{
+    const int shift = qp / 6;
+    const int rem = qp % 6;
+    for (int i = 0; i < 16; ++i) {
+        out[i] = static_cast<std::int16_t>(
+            level[i] * vs[rem][posClass(i)] << shift);
+    }
+}
+
+} // namespace uasim::dec

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Forward 4x4 transform and quantization (encoder side of the closed
+ * loop). Quant/dequant use the standard's MF/V multiplier tables, so
+ * the decoder's dequant + idct4x4AddRef reconstructs exactly what the
+ * encoder's local loop reconstructs.
+ */
+
+#ifndef UASIM_DECODER_TRANSFORM_HH
+#define UASIM_DECODER_TRANSFORM_HH
+
+#include <cstdint>
+
+namespace uasim::dec {
+
+/// Forward H.264 core transform: coeff = T . residual . T^t.
+void forward4x4(const std::int16_t in[16], std::int16_t out[16]);
+
+/// Quantize transform coefficients at @p qp (0..51).
+void quant4x4(const std::int16_t coeff[16], std::int16_t level[16],
+              int qp);
+
+/// Dequantize levels back to IDCT input scale.
+void dequant4x4(const std::int16_t level[16], std::int16_t out[16],
+                int qp);
+
+} // namespace uasim::dec
+
+#endif // UASIM_DECODER_TRANSFORM_HH

@@ -1,0 +1,249 @@
+#include "h264/cabac.hh"
+
+#include <cmath>
+
+namespace uasim::h264 {
+
+const CabacTables &
+CabacTables::get()
+{
+    static CabacTables tables = [] {
+        CabacTables t;
+        // Geometric probability ladder: p_0 = 0.5 down to p_63 ~ 0.018,
+        // the same model the standard's tables were derived from.
+        const double p_max = 0.5;
+        const double p_min = 0.01875;
+        const double alpha = std::pow(p_min / p_max, 1.0 / 63.0);
+        for (int s = 0; s < 64; ++s) {
+            double p = p_max * std::pow(alpha, s);
+            for (int q = 0; q < 4; ++q) {
+                // Quartile representative of range in [256, 511].
+                double range_rep = 256.0 + 64.0 * q + 32.0;
+                int lps = static_cast<int>(p * range_rep + 0.5);
+                if (lps < 2)
+                    lps = 2;
+                t.lpsRange[s][q] = static_cast<std::uint16_t>(lps);
+            }
+            // MPS observation: probability of LPS shrinks one step.
+            t.transMps[s] = static_cast<std::uint8_t>(s < 62 ? s + 1 : 62);
+            // LPS observation: probability rises; step size grows with
+            // skew, mirroring the standard's transition shape.
+            int back = 1 + s / 4;
+            t.transLps[s] = static_cast<std::uint8_t>(
+                s - back < 0 ? 0 : s - back);
+        }
+        return t;
+    }();
+    return tables;
+}
+
+CabacEncoder::CabacEncoder()
+{
+    bytes_.reserve(4096);
+}
+
+void
+CabacEncoder::putBit(int bit)
+{
+    auto emit = [this](int b) {
+        cur_ = static_cast<std::uint8_t>((cur_ << 1) | b);
+        if (++bitPos_ == 8) {
+            bytes_.push_back(cur_);
+            cur_ = 0;
+            bitPos_ = 0;
+        }
+    };
+    if (firstBit_) {
+        // The very first carry-resolving bit is not emitted (mirrors
+        // the standard's initialization).
+        firstBit_ = false;
+    } else {
+        emit(bit);
+    }
+    while (outstanding_ > 0) {
+        emit(1 - bit);
+        --outstanding_;
+    }
+}
+
+void
+CabacEncoder::renorm()
+{
+    while (range_ < 256) {
+        if (low_ >= 512) {
+            putBit(1);
+            low_ -= 512;
+        } else if (low_ < 256) {
+            putBit(0);
+        } else {
+            ++outstanding_;
+            low_ -= 256;
+        }
+        low_ <<= 1;
+        range_ <<= 1;
+    }
+}
+
+void
+CabacEncoder::encodeBin(CabacContext &ctx, int bin)
+{
+    const CabacTables &t = CabacTables::get();
+    ++bins_;
+    std::uint32_t lps = t.lpsRange[ctx.state][(range_ >> 6) & 3];
+    range_ -= lps;
+    if (bin == ctx.mps) {
+        ctx.state = t.transMps[ctx.state];
+    } else {
+        low_ += range_;
+        range_ = lps;
+        if (ctx.state == 0)
+            ctx.mps ^= 1;
+        else
+            ctx.state = t.transLps[ctx.state];
+    }
+    renorm();
+}
+
+void
+CabacEncoder::encodeBypass(int bin)
+{
+    ++bins_;
+    low_ <<= 1;
+    if (bin)
+        low_ += range_;
+    if (low_ >= 1024) {
+        putBit(1);
+        low_ -= 1024;
+    } else if (low_ < 512) {
+        putBit(0);
+    } else {
+        ++outstanding_;
+        low_ -= 512;
+    }
+}
+
+void
+CabacEncoder::encodeUEG(CabacContext *ctxs, int num_ctxs, unsigned value)
+{
+    // Unary prefix under adaptive contexts, capped at num_ctxs bins.
+    unsigned prefix = value;
+    int i = 0;
+    while (prefix > 0 && i < num_ctxs) {
+        encodeBin(ctxs[i], 1);
+        --prefix;
+        ++i;
+    }
+    if (i < num_ctxs) {
+        encodeBin(ctxs[i], 0);
+        return;
+    }
+    // Exp-Golomb order-0 suffix in bypass mode for the remainder.
+    unsigned rem = prefix + 1;
+    int bits = 0;
+    while ((rem >> bits) > 1)
+        ++bits;
+    for (int b = 0; b < bits; ++b)
+        encodeBypass(1);
+    encodeBypass(0);
+    for (int b = bits - 1; b >= 0; --b)
+        encodeBypass((rem >> b) & 1);
+}
+
+std::vector<std::uint8_t>
+CabacEncoder::finish()
+{
+    // Flush the full low register so the decoder can resolve the last
+    // symbols unambiguously, then pad to a byte boundary.
+    for (int b = 9; b >= 0; --b)
+        putBit((low_ >> b) & 1);
+    while (bitPos_ != 0)
+        putBit(0);
+    // Trailing guard bytes so the decoder can overread freely.
+    bytes_.push_back(0);
+    bytes_.push_back(0);
+    bytes_.push_back(0);
+    return std::move(bytes_);
+}
+
+CabacDecoder::CabacDecoder(const std::uint8_t *data, std::size_t size)
+    : data_(data), size_(size)
+{
+    // 9-bit initialization, matching the 9-bit range register.
+    for (int i = 0; i < 9; ++i)
+        value_ = (value_ << 1) | readBit();
+}
+
+int
+CabacDecoder::readBit()
+{
+    if (pos_ >= size_)
+        return 0;
+    int bit = (data_[pos_] >> (7 - bitPos_)) & 1;
+    if (++bitPos_ == 8) {
+        bitPos_ = 0;
+        ++pos_;
+    }
+    return bit;
+}
+
+int
+CabacDecoder::decodeBin(CabacContext &ctx)
+{
+    const CabacTables &t = CabacTables::get();
+    ++bins_;
+    std::uint32_t lps = t.lpsRange[ctx.state][(range_ >> 6) & 3];
+    range_ -= lps;
+    int bin;
+    if (value_ >= range_) {
+        value_ -= range_;
+        range_ = lps;
+        bin = ctx.mps ^ 1;
+        if (ctx.state == 0)
+            ctx.mps ^= 1;
+        else
+            ctx.state = t.transLps[ctx.state];
+    } else {
+        bin = ctx.mps;
+        ctx.state = t.transMps[ctx.state];
+    }
+    while (range_ < 256) {
+        range_ <<= 1;
+        value_ = (value_ << 1) | readBit();
+    }
+    return bin;
+}
+
+int
+CabacDecoder::decodeBypass()
+{
+    ++bins_;
+    value_ = (value_ << 1) | readBit();
+    if (value_ >= range_) {
+        value_ -= range_;
+        return 1;
+    }
+    return 0;
+}
+
+unsigned
+CabacDecoder::decodeUEG(CabacContext *ctxs, int num_ctxs)
+{
+    unsigned prefix = 0;
+    int i = 0;
+    while (i < num_ctxs) {
+        if (!decodeBin(ctxs[i]))
+            return prefix;
+        ++prefix;
+        ++i;
+    }
+    // Bypass exp-golomb suffix.
+    int bits = 0;
+    while (decodeBypass())
+        ++bits;
+    unsigned rem = 1;
+    for (int b = 0; b < bits; ++b)
+        rem = (rem << 1) | decodeBypass();
+    return prefix + rem - 1;
+}
+
+} // namespace uasim::h264

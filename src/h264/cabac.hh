@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Context-adaptive binary arithmetic coder (the CABAC substrate).
+ *
+ * Structure follows H.264's M-coder: 9-bit range, 64 probability
+ * states per context with MPS/LPS transitions, a 64x4 quantized
+ * LPS-range table, bypass mode for near-random bins, and
+ * renormalization with outstanding-bit carry resolution on the encoder
+ * side. The state-transition and LPS-range tables are derived
+ * analytically from the same geometric-progression model the standard
+ * used (alpha = (p_min/p_max)^(1/63)); the exact standard constants
+ * are not copied, which changes compression mildly but nothing about
+ * the coder's structure, determinism, or serial data dependences - the
+ * properties that matter here (CABAC is the paper's example of a
+ * strongly serial, non-vectorizable kernel).
+ */
+
+#ifndef UASIM_H264_CABAC_HH
+#define UASIM_H264_CABAC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uasim::h264 {
+
+/// One adaptive binary context: 6-bit state + MPS value.
+struct CabacContext {
+    std::uint8_t state = 0;  //!< 0..63, higher = more skewed
+    std::uint8_t mps = 0;    //!< current most-probable symbol
+};
+
+/// Shared probability tables (computed once, process-wide).
+struct CabacTables {
+    std::uint16_t lpsRange[64][4];
+    std::uint8_t transMps[64];
+    std::uint8_t transLps[64];
+
+    static const CabacTables &get();
+};
+
+/**
+ * Arithmetic encoder producing a byte vector.
+ */
+class CabacEncoder
+{
+  public:
+    CabacEncoder();
+
+    /// Encode one bin under an adaptive context.
+    void encodeBin(CabacContext &ctx, int bin);
+
+    /// Encode one equiprobable bin (bypass).
+    void encodeBypass(int bin);
+
+    /// Encode an unsigned value as unary-truncated + exp-golomb
+    /// bypass suffix (UEG0-style), capped adaptive prefix length.
+    void encodeUEG(CabacContext *ctxs, int num_ctxs, unsigned value);
+
+    /// Flush and return the bitstream.
+    std::vector<std::uint8_t> finish();
+
+    std::uint64_t binsEncoded() const { return bins_; }
+
+  private:
+    void putBit(int bit);
+    void renorm();
+
+    std::uint32_t low_ = 0;
+    std::uint32_t range_ = 510;
+    int outstanding_ = 0;
+    bool firstBit_ = true;
+    int bitPos_ = 0;
+    std::uint8_t cur_ = 0;
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t bins_ = 0;
+};
+
+/**
+ * Matching arithmetic decoder.
+ */
+class CabacDecoder
+{
+  public:
+    CabacDecoder(const std::uint8_t *data, std::size_t size);
+
+    /// Decode one adaptive bin.
+    int decodeBin(CabacContext &ctx);
+
+    /// Decode one bypass bin.
+    int decodeBypass();
+
+    /// Inverse of CabacEncoder::encodeUEG.
+    unsigned decodeUEG(CabacContext *ctxs, int num_ctxs);
+
+    std::uint64_t binsDecoded() const { return bins_; }
+
+  private:
+    int readBit();
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    int bitPos_ = 0;
+    std::uint32_t range_ = 510;
+    std::uint32_t value_ = 0;
+    std::uint64_t bins_ = 0;
+};
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_CABAC_HH

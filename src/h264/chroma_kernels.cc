@@ -1,0 +1,206 @@
+#include "h264/chroma_kernels.hh"
+
+#include "vmx/constpool.hh"
+#include "vmx/realign.hh"
+
+namespace uasim::h264 {
+
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::SInt;
+using vmx::Vec;
+
+void
+chromaMcScalar(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+               std::uint8_t *dst, int dst_stride, int size, int dx,
+               int dy)
+{
+    auto &s = ctx.so;
+    // Weight computation, as the compiled prologue would do it.
+    SInt rdx = s.li(dx);
+    SInt rdy = s.li(dy);
+    SInt e8x = s.subfi(8, rdx);
+    SInt e8y = s.subfi(8, rdy);
+    SInt wa = s.mul(e8x, e8y);
+    SInt wb = s.mul(rdx, e8y);
+    SInt wc = s.mul(e8x, rdy);
+    SInt wd = s.mul(rdx, rdy);
+
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+            SInt a = s.loadU8(sp, x);
+            SInt b = s.loadU8(sp, x + 1);
+            SInt c = s.loadU8(sp, x + src_stride);
+            SInt d = s.loadU8(sp, x + src_stride + 1);
+            SInt acc = s.mul(a, wa);
+            acc = s.add(acc, s.mul(b, wb));
+            acc = s.add(acc, s.mul(c, wc));
+            acc = s.add(acc, s.mul(d, wd));
+            acc = s.addi(acc, 32);
+            acc = s.srai(acc, 6);
+            s.storeU8(dp, x, acc);
+        }
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < size);
+    }
+}
+
+namespace {
+
+/// Hoisted vector state shared by the two vector variants.
+struct ChromaVecCtx {
+    Vec vzero, va, vb, vc, vd, v32, vshift6, dstperm;
+};
+
+ChromaVecCtx
+chromaProlog(KernelCtx &ctx, std::uint8_t *dst, int dx, int dy)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    ChromaVecCtx c;
+
+    // Scalar weight computation, spilled and splatted into u16 lanes:
+    // the standard way to get run-time scalars into vector registers.
+    SInt rdx = s.li(dx);
+    SInt rdy = s.li(dy);
+    SInt e8x = s.subfi(8, rdx);
+    SInt e8y = s.subfi(8, rdy);
+    SInt wa = s.mul(e8x, e8y);
+    SInt wb = s.mul(rdx, e8y);
+    SInt wc = s.mul(e8x, rdy);
+    SInt wd = s.mul(rdx, rdy);
+
+    alignas(16) static thread_local std::uint16_t spill[8];
+    Ptr sp = s.lip(reinterpret_cast<std::uint8_t *>(spill));
+    s.storeU16(sp, 0, wa);
+    s.storeU16(sp, 2, wb);
+    s.storeU16(sp, 4, wc);
+    s.storeU16(sp, 6, wd);
+    Vec packed = v.lvx(CPtr{sp});
+    c.va = v.splat16(packed, 0);
+    c.vb = v.splat16(packed, 1);
+    c.vc = v.splat16(packed, 2);
+    c.vd = v.splat16(packed, 3);
+
+    c.vzero = v.zero();
+    c.v32 = vmx::loadConst(
+        v, vmx::makeVecS16({32, 32, 32, 32, 32, 32, 32, 32}));
+    c.vshift6 = v.splatis16(6);
+    c.dstperm = v.lvsr(CPtr{dst});
+    return c;
+}
+
+/// Shared per-row math + the 4B-aligned stvewx store path.
+void
+chromaRowBody(KernelCtx &ctx, const ChromaVecCtx &c, Vec top, Vec bot,
+              Ptr dp, int size)
+{
+    auto &v = ctx.vo;
+    Vec t0 = v.mergeh8(top, c.vzero);
+    Vec t1 = v.mergeh8(v.sld(top, top, 1), c.vzero);
+    Vec b0 = v.mergeh8(bot, c.vzero);
+    Vec b1 = v.mergeh8(v.sld(bot, bot, 1), c.vzero);
+
+    Vec acc = v.mladd16(t0, c.va, c.v32);
+    acc = v.mladd16(t1, c.vb, acc);
+    acc = v.mladd16(b0, c.vc, acc);
+    acc = v.mladd16(b1, c.vd, acc);
+    Vec res = v.sr16(acc, c.vshift6);
+    Vec bytes = v.packum16(res, res);
+
+    // Chroma destinations are 4B-aligned: rotate into store position
+    // and write with one stvewx per word.
+    Vec rot = v.vperm(bytes, bytes, c.dstperm);
+    v.stvewx(rot, dp, 0);
+    if (size == 8)
+        v.stvewx(rot, dp, 4);
+}
+
+} // namespace
+
+void
+chromaMcAltivec(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+                std::uint8_t *dst, int dst_stride, int size, int dx,
+                int dy)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    ChromaVecCtx c = chromaProlog(ctx, dst, dx, dy);
+
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    Vec mask = v.lvsl(sp);  // source offset is row-invariant
+
+    // Software-realigned load of size+1 bytes: one aligned load when
+    // they fit in the word, two otherwise. The offset check is the
+    // paper's "branch that depends on the unalignment offset".
+    auto load_row = [&](CPtr p, std::int64_t off) {
+        SInt addr = s.li(reinterpret_cast<std::int64_t>(p.p) + off);
+        SInt lowbits = s.andi(addr, 15);
+        SInt fits = s.cmplti(lowbits, 16 - size);
+        if (s.branch(fits)) {
+            Vec lo = v.lvx(p, off);
+            return v.vperm(lo, lo, mask);
+        }
+        Vec lo = v.lvx(p, off);
+        Vec hi = v.lvx(p, off + 15);
+        return v.vperm(lo, hi, mask);
+    };
+
+    for (int y = 0; y < size; ++y) {
+        Vec top = load_row(sp, 0);
+        Vec bot = load_row(sp, src_stride);
+        chromaRowBody(ctx, c, top, bot, dp, size);
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < size);
+    }
+}
+
+void
+chromaMcUnaligned(KernelCtx &ctx, const std::uint8_t *src,
+                  int src_stride, std::uint8_t *dst, int dst_stride,
+                  int size, int dx, int dy)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    ChromaVecCtx c = chromaProlog(ctx, dst, dx, dy);
+
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+
+    for (int y = 0; y < size; ++y) {
+        Vec top = v.lvxu(sp, 0);
+        Vec bot = v.lvxu(sp, src_stride);
+        chromaRowBody(ctx, c, top, bot, dp, size);
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < size);
+    }
+}
+
+void
+chromaMcKernel(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+               int src_stride, std::uint8_t *dst, int dst_stride,
+               int size, int dx, int dy)
+{
+    switch (v) {
+      case Variant::Scalar:
+        chromaMcScalar(ctx, src, src_stride, dst, dst_stride, size, dx,
+                       dy);
+        return;
+      case Variant::Altivec:
+        chromaMcAltivec(ctx, src, src_stride, dst, dst_stride, size, dx,
+                        dy);
+        return;
+      default:
+        chromaMcUnaligned(ctx, src, src_stride, dst, dst_stride, size,
+                          dx, dy);
+        return;
+    }
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Traced chroma MC kernels (eighth-pel bilinear), sizes 8 and 4.
+ *
+ * The Altivec variant reproduces the two properties the paper calls
+ * out for chroma: a per-row branch that depends on the source
+ * unalignment offset (one aligned load suffices iff offset+w+1 <= 16),
+ * and stores through the rotate + stvewx idiom (chroma destinations
+ * are always 4B-aligned, so both variants share the store path and the
+ * unaligned instructions only help the load side - exactly the
+ * Table III chroma row).
+ */
+
+#ifndef UASIM_H264_CHROMA_KERNELS_HH
+#define UASIM_H264_CHROMA_KERNELS_HH
+
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+/// Bilinear chroma MC; @p size in {8, 4} for the vector variants
+/// (any size for scalar). dx, dy in 0..7.
+void chromaMcScalar(KernelCtx &ctx, const std::uint8_t *src,
+                    int src_stride, std::uint8_t *dst, int dst_stride,
+                    int size, int dx, int dy);
+
+void chromaMcAltivec(KernelCtx &ctx, const std::uint8_t *src,
+                     int src_stride, std::uint8_t *dst, int dst_stride,
+                     int size, int dx, int dy);
+
+void chromaMcUnaligned(KernelCtx &ctx, const std::uint8_t *src,
+                       int src_stride, std::uint8_t *dst, int dst_stride,
+                       int size, int dx, int dy);
+
+void chromaMcKernel(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+                    int src_stride, std::uint8_t *dst, int dst_stride,
+                    int size, int dx, int dy);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_CHROMA_KERNELS_HH

@@ -1,0 +1,25 @@
+#include "h264/chroma_ref.hh"
+
+namespace uasim::h264 {
+
+void
+chromaMcRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+            int dst_stride, int w, int h, int dx, int dy)
+{
+    const int a = (8 - dx) * (8 - dy);
+    const int b = dx * (8 - dy);
+    const int c = (8 - dx) * dy;
+    const int d = dx * dy;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = a * src[x] + b * src[x + 1] +
+                    c * src[x + src_stride] +
+                    d * src[x + src_stride + 1];
+            dst[x] = static_cast<std::uint8_t>((v + 32) >> 6);
+        }
+        src += src_stride;
+        dst += dst_stride;
+    }
+}
+
+} // namespace uasim::h264

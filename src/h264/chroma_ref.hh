@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reference H.264 chroma motion compensation (eighth-pel bilinear).
+ */
+
+#ifndef UASIM_H264_CHROMA_REF_HH
+#define UASIM_H264_CHROMA_REF_HH
+
+#include <cstdint>
+
+namespace uasim::h264 {
+
+/**
+ * Standard chroma interpolation:
+ *   dst = ((8-dx)(8-dy) A + dx (8-dy) B + (8-dx) dy C + dx dy D + 32) >> 6
+ * with dx, dy in 0..7 (the chroma fraction of a quarter-pel MV).
+ */
+void chromaMcRef(const std::uint8_t *src, int src_stride,
+                 std::uint8_t *dst, int dst_stride, int w, int h,
+                 int dx, int dy);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_CHROMA_REF_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * H.264-style in-loop deblocking filter (normal filter, bS 1..3).
+ *
+ * The paper profiles the deblocking filter as a scalar stage (its SIMD
+ * version was "under development"), so only the scalar traced variant
+ * exists here, plus the native reference that defines correctness.
+ * Alpha/beta/tc thresholds follow the standard's exponential shape,
+ * derived analytically rather than copied verbatim.
+ */
+
+#ifndef UASIM_H264_DEBLOCK_HH
+#define UASIM_H264_DEBLOCK_HH
+
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+/// Threshold tables indexed by QP (0..51).
+struct DeblockTables {
+    std::uint8_t alpha[52];
+    std::uint8_t beta[52];
+    std::uint8_t tc0[52][3];  //!< indexed by bS-1
+
+    static const DeblockTables &get();
+};
+
+/**
+ * Filter one 4-sample edge: samples at pix[i*ystride + k*xstride] for
+ * i in 0..3, k in -2..1 (p1 p0 | q0 q1, with p2/q2 consulted for the
+ * tc bump). @p bs in 1..3.
+ */
+void deblockEdgeRef(std::uint8_t *pix, int xstride, int ystride, int bs,
+                    int qp);
+
+/// Traced scalar version of deblockEdgeRef (bit-exact with it).
+void deblockEdgeScalar(KernelCtx &ctx, std::uint8_t *pix, int xstride,
+                       int ystride, int bs, int qp);
+
+/**
+ * Deblock a full 16x16 luma macroblock: the three internal vertical
+ * edges plus the left MB edge, then the same horizontally (the
+ * standard's edge order). @return number of 4-sample edge segments
+ * processed (the Fig 10 work unit).
+ */
+int deblockMacroblockRef(std::uint8_t *mb, int stride, int qp,
+                         bool intra);
+
+/// Traced counterpart of deblockMacroblockRef.
+int deblockMacroblockScalar(KernelCtx &ctx, std::uint8_t *mb, int stride,
+                            int qp, bool intra);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_DEBLOCK_HH

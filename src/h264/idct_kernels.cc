@@ -1,0 +1,467 @@
+#include "h264/idct_kernels.hh"
+
+#include "h264/tables.hh"
+#include "vmx/constpool.hh"
+#include "vmx/realign.hh"
+
+namespace uasim::h264 {
+
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::SInt;
+using vmx::Vec;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar variants: loads into registers, butterfly in registers, a
+// 16-bit spill between passes, clip via the crop table.
+// ---------------------------------------------------------------------
+
+void
+butterfly4Scalar(vmx::ScalarOps &s, SInt b[4])
+{
+    SInt z0 = s.add(b[0], b[2]);
+    SInt z1 = s.sub(b[0], b[2]);
+    SInt z2 = s.sub(s.srai(b[1], 1), b[3]);
+    SInt z3 = s.add(b[1], s.srai(b[3], 1));
+    b[0] = s.add(z0, z3);
+    b[1] = s.add(z1, z2);
+    b[2] = s.sub(z1, z2);
+    b[3] = s.sub(z0, z3);
+}
+
+void
+idct4x4AddScalar(KernelCtx &ctx, std::uint8_t *dst, int dst_stride,
+                 std::int16_t *block)
+{
+    auto &s = ctx.so;
+    alignas(16) static thread_local std::int16_t tmp_store[16];
+    auto *tmp_raw = reinterpret_cast<std::uint8_t *>(tmp_store);
+
+    CPtr bp = s.lip(reinterpret_cast<const std::uint8_t *>(block));
+    Ptr tp = s.lip(tmp_raw);
+    // Row pass.
+    for (int i = 0; i < 4; ++i) {
+        SInt b[4];
+        for (int j = 0; j < 4; ++j)
+            b[j] = s.loadS16(bp, 2 * (4 * i + j));
+        butterfly4Scalar(s, b);
+        for (int j = 0; j < 4; ++j)
+            s.storeU16(tp, 2 * (4 * i + j), b[j]);
+        s.loopBranch(i + 1 < 4);
+    }
+    // Column pass + load-add-store.
+    CPtr tq = s.lip(tmp_raw);
+    Ptr dp = s.lip(dst);
+    CPtr clip = s.lip(clipTable() + clipTableOffset);
+    for (int i = 0; i < 4; ++i) {
+        SInt b[4];
+        for (int j = 0; j < 4; ++j)
+            b[j] = s.loadS16(tq, 2 * (4 * j + i));
+        butterfly4Scalar(s, b);
+        for (int j = 0; j < 4; ++j) {
+            SInt r = s.srai(s.addi(b[j], 32), 6);
+            SInt d = s.loadU8(CPtr{dp}, j * dst_stride + i);
+            SInt v = s.add(d, r);
+            s.storeU8(dp, j * dst_stride + i, s.loadU8x(clip, v));
+        }
+        s.loopBranch(i + 1 < 4);
+    }
+}
+
+void
+idct8x8PassScalar(vmx::ScalarOps &s, SInt b[8])
+{
+    SInt a0 = s.add(b[0], b[4]);
+    SInt a4 = s.sub(b[0], b[4]);
+    SInt a2 = s.sub(s.srai(b[2], 1), b[6]);
+    SInt a6 = s.add(b[2], s.srai(b[6], 1));
+
+    SInt e0 = s.add(a0, a6);
+    SInt e2 = s.add(a4, a2);
+    SInt e4 = s.sub(a4, a2);
+    SInt e6 = s.sub(a0, a6);
+
+    SInt a1 = s.sub(s.sub(s.sub(b[5], b[3]), b[7]), s.srai(b[7], 1));
+    SInt a3 = s.sub(s.add(b[1], b[7]), s.add(b[3], s.srai(b[3], 1)));
+    SInt a5 = s.add(s.sub(b[7], b[1]), s.add(b[5], s.srai(b[5], 1)));
+    SInt a7 = s.add(s.add(b[3], b[5]), s.add(b[1], s.srai(b[1], 1)));
+
+    SInt e1 = s.add(a1, s.srai(a7, 2));
+    SInt e7 = s.sub(a7, s.srai(a1, 2));
+    SInt e3 = s.add(a3, s.srai(a5, 2));
+    SInt e5 = s.sub(a5, s.srai(a3, 2));
+
+    b[0] = s.add(e0, e7);
+    b[1] = s.add(e2, e5);
+    b[2] = s.add(e4, e3);
+    b[3] = s.add(e6, e1);
+    b[4] = s.sub(e6, e1);
+    b[5] = s.sub(e4, e3);
+    b[6] = s.sub(e2, e5);
+    b[7] = s.sub(e0, e7);
+}
+
+void
+idct8x8AddScalar(KernelCtx &ctx, std::uint8_t *dst, int dst_stride,
+                 std::int16_t *block)
+{
+    auto &s = ctx.so;
+    alignas(16) static thread_local std::int32_t tmp_store[64];
+    auto *tmp_raw = reinterpret_cast<std::uint8_t *>(tmp_store);
+
+    CPtr bp = s.lip(reinterpret_cast<const std::uint8_t *>(block));
+    Ptr tp = s.lip(tmp_raw);
+    for (int i = 0; i < 8; ++i) {
+        SInt b[8];
+        for (int j = 0; j < 8; ++j)
+            b[j] = s.loadS16(bp, 2 * (8 * i + j));
+        idct8x8PassScalar(s, b);
+        for (int j = 0; j < 8; ++j)
+            s.storeU32(tp, 4 * (8 * i + j), b[j]);
+        s.loopBranch(i + 1 < 8);
+    }
+    CPtr tq = s.lip(tmp_raw);
+    Ptr dp = s.lip(dst);
+    CPtr clip = s.lip(clipTable() + clipTableOffset);
+    for (int i = 0; i < 8; ++i) {
+        SInt b[8];
+        for (int j = 0; j < 8; ++j)
+            b[j] = s.loadS32(tq, 4 * (8 * j + i));
+        idct8x8PassScalar(s, b);
+        for (int j = 0; j < 8; ++j) {
+            SInt r = s.srai(s.addi(b[j], 32), 6);
+            SInt d = s.loadU8(CPtr{dp}, j * dst_stride + i);
+            SInt v = s.add(d, r);
+            s.storeU8(dp, j * dst_stride + i, s.loadU8x(clip, v));
+        }
+        s.loopBranch(i + 1 < 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector variants.
+// ---------------------------------------------------------------------
+
+/**
+ * Transpose a 4x4 s16 tile held in the low halves of four vectors.
+ * 6 permutes; high lanes of the outputs are don't-care.
+ */
+void
+transpose4(vmx::VecOps &v, Vec x[4])
+{
+    Vec t0 = v.mergeh16(x[0], x[2]);
+    Vec t1 = v.mergeh16(x[1], x[3]);
+    Vec y0 = v.mergeh16(t0, t1);
+    Vec y2 = v.mergel16(t0, t1);
+    x[0] = y0;
+    x[1] = v.sld(y0, y0, 8);
+    x[2] = y2;
+    x[3] = v.sld(y2, y2, 8);
+}
+
+/// Factorized butterfly on four lane-parallel vectors (10 VecSimple).
+void
+butterfly4Vec(vmx::VecOps &v, Vec a[4], const Vec &vone)
+{
+    Vec z0 = v.add16(a[0], a[2]);
+    Vec z1 = v.sub16(a[0], a[2]);
+    Vec z2 = v.sub16(v.sra16(a[1], vone), a[3]);
+    Vec z3 = v.add16(a[1], v.sra16(a[3], vone));
+    a[0] = v.add16(z0, z3);
+    a[1] = v.add16(z1, z2);
+    a[2] = v.sub16(z1, z2);
+    a[3] = v.sub16(z0, z3);
+}
+
+/// Matrix (multiply-accumulate) form: 4 VecSimple + 8 VecComplex,
+/// bit-exact with the butterfly.
+void
+matrix4Vec(vmx::VecOps &v, Vec a[4], const Vec &vone, const Vec &vmone)
+{
+    Vec a1h = v.sra16(a[1], vone);
+    Vec a3h = v.sra16(a[3], vone);
+    Vec s_even = v.add16(a[0], a[2]);
+    Vec d_even = v.sub16(a[0], a[2]);
+    // b0 = (a0 + a2) + a1 + (a3 >> 1)
+    Vec b0 = v.mladd16(a3h, vone, v.mladd16(a[1], vone, s_even));
+    // b1 = (a0 - a2) + (a1 >> 1) - a3
+    Vec b1 = v.mladd16(a[3], vmone, v.mladd16(a1h, vone, d_even));
+    // b2 = (a0 - a2) - (a1 >> 1) + a3
+    Vec b2 = v.mladd16(a[3], vone, v.mladd16(a1h, vmone, d_even));
+    // b3 = (a0 + a2) - a1 - (a3 >> 1)
+    Vec b3 = v.mladd16(a3h, vmone, v.mladd16(a[1], vmone, s_even));
+    a[0] = b0;
+    a[1] = b1;
+    a[2] = b2;
+    a[3] = b3;
+}
+
+/// Hoisted output-stage state for 4B-row add-and-store.
+struct IdctStoreCtx {
+    Vec vzero, v32, vshift6;
+    Vec extract;   //!< lvsl-based: dst row bytes -> lanes 0..3 (altivec)
+    Vec rot;       //!< lvsr-based: lanes 0..3 -> dst word slot (altivec)
+    Vec wmask;     //!< width mask (unaligned variant)
+};
+
+IdctStoreCtx
+idctStoreProlog(KernelCtx &ctx, Variant var, std::uint8_t *dst,
+                int width)
+{
+    auto &v = ctx.vo;
+    IdctStoreCtx c;
+    c.vzero = v.zero();
+    c.v32 = vmx::loadConst(
+        v, vmx::makeVecS16({32, 32, 32, 32, 32, 32, 32, 32}));
+    c.vshift6 = v.splatis16(6);
+    if (var == Variant::Altivec) {
+        c.extract = v.lvsl(CPtr{dst});
+        c.rot = v.lvsr(CPtr{dst});
+    } else {
+        c.wmask = vmx::makeWidthMask(v, width);
+    }
+    return c;
+}
+
+/**
+ * Add one residual row (s16 lanes 0..width-1 of @p res, already
+ * rounded+shifted) to @p width dst pixels and store.
+ *
+ * Altivec path: aligned load + extract permute + merge + add + pack +
+ * rotate + stvewx per word (dst is 4B-aligned in H.264).
+ * Unaligned path: lvxu + merge + add + pack + select + stvxu.
+ */
+void
+idctStoreRow(KernelCtx &ctx, Variant var, const IdctStoreCtx &c,
+             Vec res, Ptr dp, int width)
+{
+    auto &v = ctx.vo;
+    if (var == Variant::Altivec) {
+        Vec dv = v.lvx(CPtr{dp}, 0);
+        Vec da = v.vperm(dv, dv, c.extract);
+        Vec d16 = v.mergeh8(da, c.vzero);
+        Vec sum = v.add16(d16, res);
+        Vec bytes = v.packsu16(sum, sum);
+        Vec rot = v.vperm(bytes, bytes, c.rot);
+        for (int w = 0; w < width; w += 4)
+            v.stvewx(rot, dp, w);
+    } else {
+        Vec dv = v.lvxu(CPtr{dp}, 0);
+        Vec d16 = v.mergeh8(dv, c.vzero);
+        Vec sum = v.add16(d16, res);
+        Vec bytes = v.packsu16(sum, sum);
+        Vec merged = v.sel(dv, bytes, c.wmask);
+        v.stvxu(merged, dp, 0);
+    }
+}
+
+void
+idct4x4AddVector(KernelCtx &ctx, Variant var, std::uint8_t *dst,
+                 int dst_stride, std::int16_t *block, bool matrix)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    Vec vone = v.splatis16(1);
+    Vec vmone;
+    if (matrix)
+        vmone = v.splatis16(-1);
+    IdctStoreCtx c = idctStoreProlog(ctx, var, dst, 4);
+
+    CPtr bp = s.lip(reinterpret_cast<const std::uint8_t *>(block));
+    Vec v01 = v.lvx(bp, 0);   // rows 0,1
+    Vec v23 = v.lvx(bp, 16);  // rows 2,3
+
+    // First transpose: columns into lanes (6 permutes).
+    Vec a[4];
+    Vec t0 = v.mergeh16(v01, v23);
+    Vec t1 = v.mergel16(v01, v23);
+    a[0] = v.mergeh16(t0, t1);
+    a[2] = v.mergel16(t0, t1);
+    a[1] = v.sld(a[0], a[0], 8);
+    a[3] = v.sld(a[2], a[2], 8);
+
+    if (matrix)
+        matrix4Vec(v, a, vone, vmone);
+    else
+        butterfly4Vec(v, a, vone);
+
+    // a[j] lane r = row-transformed value at (row r, column j);
+    // transpose again so lane c = value at (row j, column c)...
+    transpose4(v, a);
+    // ...now a[r] lanes 0..3 hold the 4 columns of output row r: the
+    // column pass mixes across the vectors, lane-parallel per column.
+    if (matrix)
+        matrix4Vec(v, a, vone, vmone);
+    else
+        butterfly4Vec(v, a, vone);
+
+    // The paper's Altivec code peels the output sequence on the dst
+    // offset (a 4-way dispatch, ~3 data-dependent branches); the
+    // unaligned version replaces the whole peel with stvxu.
+    if (var == Variant::Altivec) {
+        SInt addr = s.li(reinterpret_cast<std::int64_t>(dst));
+        SInt off = s.andi(addr, 15);
+        SInt half = s.cmplti(off, 8);
+        if (s.branch(half)) {
+            s.branch(s.cmplti(off, 4));
+        } else {
+            s.branch(s.cmplti(off, 12));
+        }
+        s.branch(s.cmpeq(off, s.li(0)));
+    }
+
+    Ptr dp = s.lip(dst);
+    for (int r = 0; r < 4; ++r) {
+        Vec res = v.sra16(v.add16(a[r], c.v32), c.vshift6);
+        idctStoreRow(ctx, var, c, res, dp, 4);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(r + 1 < 4);
+    }
+}
+
+/// 8x8 s16 transpose: 24 permutes (merge16, merge32, then vperm with
+/// two constant masks).
+void
+transpose8(vmx::VecOps &v, Vec x[8], const Vec &mhi, const Vec &mlo)
+{
+    // Stage 1: 16-bit interleave of adjacent row pairs.
+    Vec s1[8];
+    for (int i = 0; i < 4; ++i) {
+        s1[2 * i] = v.mergeh16(x[2 * i], x[2 * i + 1]);
+        s1[2 * i + 1] = v.mergel16(x[2 * i], x[2 * i + 1]);
+    }
+    // Stage 2: 32-bit interleave pairing (01,23) and (45,67).
+    Vec s2[8];
+    s2[0] = v.mergeh32(s1[0], s1[2]);
+    s2[1] = v.mergel32(s1[0], s1[2]);
+    s2[2] = v.mergeh32(s1[1], s1[3]);
+    s2[3] = v.mergel32(s1[1], s1[3]);
+    s2[4] = v.mergeh32(s1[4], s1[6]);
+    s2[5] = v.mergel32(s1[4], s1[6]);
+    s2[6] = v.mergeh32(s1[5], s1[7]);
+    s2[7] = v.mergel32(s1[5], s1[7]);
+    // Stage 3: 64-bit interleave via two constant permute masks.
+    x[0] = v.vperm(s2[0], s2[4], mhi);
+    x[1] = v.vperm(s2[0], s2[4], mlo);
+    x[2] = v.vperm(s2[1], s2[5], mhi);
+    x[3] = v.vperm(s2[1], s2[5], mlo);
+    x[4] = v.vperm(s2[2], s2[6], mhi);
+    x[5] = v.vperm(s2[2], s2[6], mlo);
+    x[6] = v.vperm(s2[3], s2[7], mhi);
+    x[7] = v.vperm(s2[3], s2[7], mlo);
+}
+
+void
+butterfly8Vec(vmx::VecOps &v, Vec b[8], const Vec &vone, const Vec &vtwo)
+{
+    Vec a0 = v.add16(b[0], b[4]);
+    Vec a4 = v.sub16(b[0], b[4]);
+    Vec a2 = v.sub16(v.sra16(b[2], vone), b[6]);
+    Vec a6 = v.add16(b[2], v.sra16(b[6], vone));
+
+    Vec e0 = v.add16(a0, a6);
+    Vec e2 = v.add16(a4, a2);
+    Vec e4 = v.sub16(a4, a2);
+    Vec e6 = v.sub16(a0, a6);
+
+    Vec a1 = v.sub16(v.sub16(v.sub16(b[5], b[3]), b[7]),
+                     v.sra16(b[7], vone));
+    Vec a3 = v.sub16(v.add16(b[1], b[7]),
+                     v.add16(b[3], v.sra16(b[3], vone)));
+    Vec a5 = v.add16(v.sub16(b[7], b[1]),
+                     v.add16(b[5], v.sra16(b[5], vone)));
+    Vec a7 = v.add16(v.add16(b[3], b[5]),
+                     v.add16(b[1], v.sra16(b[1], vone)));
+
+    Vec e1 = v.add16(a1, v.sra16(a7, vtwo));
+    Vec e7 = v.sub16(a7, v.sra16(a1, vtwo));
+    Vec e3 = v.add16(a3, v.sra16(a5, vtwo));
+    Vec e5 = v.sub16(a5, v.sra16(a3, vtwo));
+
+    b[0] = v.add16(e0, e7);
+    b[1] = v.add16(e2, e5);
+    b[2] = v.add16(e4, e3);
+    b[3] = v.add16(e6, e1);
+    b[4] = v.sub16(e6, e1);
+    b[5] = v.sub16(e4, e3);
+    b[6] = v.sub16(e2, e5);
+    b[7] = v.sub16(e0, e7);
+}
+
+void
+idct8x8AddVector(KernelCtx &ctx, Variant var, std::uint8_t *dst,
+                 int dst_stride, std::int16_t *block)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    Vec vone = v.splatis16(1);
+    Vec vtwo = v.splatis16(2);
+    // Stage-3 transpose masks (64-bit interleaves).
+    Vec mhi = vmx::loadConst(v, vmx::makeVecU8(
+        {0, 1, 2, 3, 4, 5, 6, 7, 16, 17, 18, 19, 20, 21, 22, 23}));
+    Vec mlo = vmx::loadConst(v, vmx::makeVecU8(
+        {8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 26, 27, 28, 29, 30, 31}));
+    IdctStoreCtx c = idctStoreProlog(ctx, var, dst, 8);
+
+    CPtr bp = s.lip(reinterpret_cast<const std::uint8_t *>(block));
+    Vec b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = v.lvx(bp, 16 * i);
+
+    transpose8(v, b, mhi, mlo);
+    butterfly8Vec(v, b, vone, vtwo);
+    transpose8(v, b, mhi, mlo);
+    butterfly8Vec(v, b, vone, vtwo);
+
+    if (var == Variant::Altivec) {
+        SInt addr = s.li(reinterpret_cast<std::int64_t>(dst));
+        SInt off = s.andi(addr, 15);
+        SInt half = s.cmplti(off, 8);
+        s.branch(half);
+        s.branch(s.cmpeq(off, s.li(0)));
+    }
+
+    Ptr dp = s.lip(dst);
+    for (int r = 0; r < 8; ++r) {
+        Vec res = v.sra16(v.add16(b[r], c.v32), c.vshift6);
+        idctStoreRow(ctx, var, c, res, dp, 8);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(r + 1 < 8);
+    }
+}
+
+} // namespace
+
+void
+idct4x4Add(KernelCtx &ctx, Variant v, std::uint8_t *dst, int dst_stride,
+           std::int16_t *block)
+{
+    if (v == Variant::Scalar)
+        idct4x4AddScalar(ctx, dst, dst_stride, block);
+    else
+        idct4x4AddVector(ctx, v, dst, dst_stride, block, false);
+}
+
+void
+idct4x4AddMatrix(KernelCtx &ctx, Variant v, std::uint8_t *dst,
+                 int dst_stride, std::int16_t *block)
+{
+    if (v == Variant::Scalar)
+        idct4x4AddScalar(ctx, dst, dst_stride, block);
+    else
+        idct4x4AddVector(ctx, v, dst, dst_stride, block, true);
+}
+
+void
+idct8x8Add(KernelCtx &ctx, Variant v, std::uint8_t *dst, int dst_stride,
+           std::int16_t *block)
+{
+    if (v == Variant::Scalar)
+        idct8x8AddScalar(ctx, dst, dst_stride, block);
+    else
+        idct8x8AddVector(ctx, v, dst, dst_stride, block);
+}
+
+} // namespace uasim::h264

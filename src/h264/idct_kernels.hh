@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Traced H.264 inverse-transform kernels.
+ *
+ * Coefficient blocks are 16B-aligned (the paper notes IDCT inputs "can
+ * be properly aligned by rearrangements in the source code"), so the
+ * unaligned instructions only matter in the final load-add-store
+ * sequence - which is why the paper's IDCT speedups are the smallest
+ * (1.06-1.09x).
+ *
+ * Three algorithms:
+ *  - idct4x4Add: factorized butterfly (shift/add, VecSimple-heavy);
+ *  - idct4x4AddMatrix: the multiply-accumulate form of [Zhou03]
+ *    (vmladduhm chains, VecComplex-heavy, shorter dependence chains);
+ *  - idct8x8Add: the high-profile 8x8 butterfly.
+ */
+
+#ifndef UASIM_H264_IDCT_KERNELS_HH
+#define UASIM_H264_IDCT_KERNELS_HH
+
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+/// dst += idct(block), clipped. @p block must be 16B-aligned scratch
+/// (consumed). dst must be 4B-aligned (true for all H.264 block
+/// positions).
+void idct4x4Add(KernelCtx &ctx, Variant v, std::uint8_t *dst,
+                int dst_stride, std::int16_t *block);
+
+/// Matrix-product formulation; bit-exact with idct4x4Add.
+void idct4x4AddMatrix(KernelCtx &ctx, Variant v, std::uint8_t *dst,
+                      int dst_stride, std::int16_t *block);
+
+/// 8x8 high-profile transform. dst must be 8B-aligned.
+void idct8x8Add(KernelCtx &ctx, Variant v, std::uint8_t *dst,
+                int dst_stride, std::int16_t *block);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_IDCT_KERNELS_HH

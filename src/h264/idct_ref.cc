@@ -1,0 +1,109 @@
+#include "h264/idct_ref.hh"
+
+#include "h264/tables.hh"
+
+namespace uasim::h264 {
+
+void
+idct4x4AddRef(std::uint8_t *dst, int dst_stride, std::int16_t block[16])
+{
+    int tmp[16];
+
+    // Row pass.
+    for (int i = 0; i < 4; ++i) {
+        const std::int16_t *b = &block[4 * i];
+        int z0 = b[0] + b[2];
+        int z1 = b[0] - b[2];
+        int z2 = (b[1] >> 1) - b[3];
+        int z3 = b[1] + (b[3] >> 1);
+        tmp[4 * i + 0] = z0 + z3;
+        tmp[4 * i + 1] = z1 + z2;
+        tmp[4 * i + 2] = z1 - z2;
+        tmp[4 * i + 3] = z0 - z3;
+    }
+
+    // Column pass + output.
+    for (int i = 0; i < 4; ++i) {
+        int z0 = tmp[i] + tmp[8 + i];
+        int z1 = tmp[i] - tmp[8 + i];
+        int z2 = (tmp[4 + i] >> 1) - tmp[12 + i];
+        int z3 = tmp[4 + i] + (tmp[12 + i] >> 1);
+        int r0 = z0 + z3;
+        int r1 = z1 + z2;
+        int r2 = z1 - z2;
+        int r3 = z0 - z3;
+        dst[0 * dst_stride + i] =
+            clipU8(dst[0 * dst_stride + i] + ((r0 + 32) >> 6));
+        dst[1 * dst_stride + i] =
+            clipU8(dst[1 * dst_stride + i] + ((r1 + 32) >> 6));
+        dst[2 * dst_stride + i] =
+            clipU8(dst[2 * dst_stride + i] + ((r2 + 32) >> 6));
+        dst[3 * dst_stride + i] =
+            clipU8(dst[3 * dst_stride + i] + ((r3 + 32) >> 6));
+    }
+}
+
+namespace {
+
+void
+idct8x8Pass(int b[8])
+{
+    int a0 = b[0] + b[4];
+    int a4 = b[0] - b[4];
+    int a2 = (b[2] >> 1) - b[6];
+    int a6 = b[2] + (b[6] >> 1);
+
+    int e0 = a0 + a6;
+    int e2 = a4 + a2;
+    int e4 = a4 - a2;
+    int e6 = a0 - a6;
+
+    int a1 = -b[3] + b[5] - b[7] - (b[7] >> 1);
+    int a3 = b[1] + b[7] - b[3] - (b[3] >> 1);
+    int a5 = -b[1] + b[7] + b[5] + (b[5] >> 1);
+    int a7 = b[3] + b[5] + b[1] + (b[1] >> 1);
+
+    int e1 = a1 + (a7 >> 2);
+    int e7 = a7 - (a1 >> 2);
+    int e3 = a3 + (a5 >> 2);
+    int e5 = a5 - (a3 >> 2);
+
+    b[0] = e0 + e7;
+    b[1] = e2 + e5;
+    b[2] = e4 + e3;
+    b[3] = e6 + e1;
+    b[4] = e6 - e1;
+    b[5] = e4 - e3;
+    b[6] = e2 - e5;
+    b[7] = e0 - e7;
+}
+
+} // namespace
+
+void
+idct8x8AddRef(std::uint8_t *dst, int dst_stride, std::int16_t block[64])
+{
+    int tmp[64];
+
+    for (int i = 0; i < 8; ++i) {
+        int row[8];
+        for (int j = 0; j < 8; ++j)
+            row[j] = block[8 * i + j];
+        idct8x8Pass(row);
+        for (int j = 0; j < 8; ++j)
+            tmp[8 * i + j] = row[j];
+    }
+
+    for (int i = 0; i < 8; ++i) {
+        int col[8];
+        for (int j = 0; j < 8; ++j)
+            col[j] = tmp[8 * j + i];
+        idct8x8Pass(col);
+        for (int j = 0; j < 8; ++j) {
+            dst[j * dst_stride + i] = clipU8(
+                dst[j * dst_stride + i] + ((col[j] + 32) >> 6));
+        }
+    }
+}
+
+} // namespace uasim::h264

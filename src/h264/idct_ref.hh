@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reference H.264 inverse transforms (4x4 and 8x8) with the standard
+ * add-to-prediction, clip, and store ("load-add-store") output stage.
+ */
+
+#ifndef UASIM_H264_IDCT_REF_HH
+#define UASIM_H264_IDCT_REF_HH
+
+#include <cstdint>
+
+namespace uasim::h264 {
+
+/**
+ * 4x4 integer inverse transform; adds the residual to @p dst in place:
+ * dst = clip(dst + ((idct(block) + 32) >> 6)).
+ * @p block is row-major, already dequantized. The block is consumed
+ * (left in post-row-pass state is NOT guaranteed; treat as scratch).
+ */
+void idct4x4AddRef(std::uint8_t *dst, int dst_stride,
+                   std::int16_t block[16]);
+
+/// 8x8 high-profile inverse transform, same output convention.
+void idct8x8AddRef(std::uint8_t *dst, int dst_stride,
+                   std::int16_t block[64]);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_IDCT_REF_HH

@@ -1,0 +1,28 @@
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+std::string_view
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Scalar:    return "scalar";
+      case Variant::Altivec:   return "altivec";
+      case Variant::Unaligned: return "unaligned";
+      default:                 return "invalid";
+    }
+}
+
+std::string_view
+kernelName(KernelId k)
+{
+    switch (k) {
+      case KernelId::LumaMc:   return "luma";
+      case KernelId::ChromaMc: return "chroma";
+      case KernelId::Idct:     return "idct";
+      case KernelId::Sad:      return "sad";
+      default:                 return "invalid";
+    }
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common definitions for the traced H.264 kernels.
+ *
+ * Every kernel of the paper's Table III exists in three variants:
+ *  - Scalar: integer-unit code, clip tables, branchy abs - the shape
+ *    of the reference C implementations the paper compiled;
+ *  - Altivec: plain Altivec with software realignment (lvsl/vperm for
+ *    loads, load-merge-store or stvewx idioms for stores);
+ *  - Unaligned: Altivec extended with lvxu/stvxu.
+ */
+
+#ifndef UASIM_H264_KERNELS_HH
+#define UASIM_H264_KERNELS_HH
+
+#include <string_view>
+
+#include "trace/emitter.hh"
+#include "vmx/scalarops.hh"
+#include "vmx/vecops.hh"
+
+namespace uasim::h264 {
+
+/// Implementation variant, the paper's three rows per kernel.
+enum class Variant { Scalar, Altivec, Unaligned };
+
+constexpr int numVariants = 3;
+
+std::string_view variantName(Variant v);
+
+/// Facades a traced kernel executes against (shared Emitter).
+class KernelCtx
+{
+  public:
+    explicit KernelCtx(trace::Emitter &em) : so(em), vo(em) {}
+
+    vmx::ScalarOps so;
+    vmx::VecOps vo;
+};
+
+/// The paper's kernel families.
+enum class KernelId { LumaMc, ChromaMc, Idct, Sad };
+
+std::string_view kernelName(KernelId k);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_KERNELS_HH

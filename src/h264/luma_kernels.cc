@@ -1,0 +1,789 @@
+#include "h264/luma_kernels.hh"
+
+#include <cassert>
+
+#include "h264/tables.hh"
+#include "vmx/constpool.hh"
+#include "vmx/realign.hh"
+
+namespace uasim::h264 {
+
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::SInt;
+using vmx::Vec;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar variants (reference-C shape: 6 loads per output, shift/add
+// multiplies, clip through the crop table, row loops with a branch
+// every 4 pixels to model partial unrolling).
+// ---------------------------------------------------------------------
+
+/// Traced filter6 on six loaded values: shift/add form of *5 and *20.
+SInt
+filterScalar(vmx::ScalarOps &s, SInt m2, SInt m1, SInt p0, SInt p1,
+             SInt p2, SInt p3)
+{
+    SInt c = s.add(p0, p1);
+    SInt c20 = s.add(s.slli(c, 4), s.slli(c, 2));  // 20c = 16c + 4c
+    SInt b = s.add(m1, p2);
+    SInt b5 = s.add(s.slli(b, 2), b);              // 5b = 4b + b
+    SInt a = s.add(m2, p3);
+    return s.sub(s.add(c20, a), b5);
+}
+
+/// Clip through the crop table: one indexed load.
+SInt
+clipScalar(vmx::ScalarOps &s, CPtr clip_base, SInt v)
+{
+    return s.loadU8x(clip_base, v);
+}
+
+void
+lumaCopyScalar(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+               std::uint8_t *dst, int dst_stride, int w, int h)
+{
+    auto &s = ctx.so;
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; x += 4) {
+            SInt v = s.loadU32(sp, x);
+            s.storeU32(dp, x, v);
+        }
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+void
+lumaHalfHScalar(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+                std::uint8_t *dst, int dst_stride, int w, int h)
+{
+    auto &s = ctx.so;
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    CPtr clip = s.lip(clipTable() + clipTableOffset);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            SInt m2 = s.loadU8(sp, x - 2);
+            SInt m1 = s.loadU8(sp, x - 1);
+            SInt p0 = s.loadU8(sp, x);
+            SInt p1 = s.loadU8(sp, x + 1);
+            SInt p2 = s.loadU8(sp, x + 2);
+            SInt p3 = s.loadU8(sp, x + 3);
+            SInt v = filterScalar(s, m2, m1, p0, p1, p2, p3);
+            v = s.srai(s.addi(v, 16), 5);
+            s.storeU8(dp, x, clipScalar(s, clip, v));
+            if ((x & 3) == 3)
+                s.loopBranch(x + 1 < w);
+        }
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+void
+lumaHalfVScalar(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+                std::uint8_t *dst, int dst_stride, int w, int h)
+{
+    auto &s = ctx.so;
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    CPtr clip = s.lip(clipTable() + clipTableOffset);
+    const int st = src_stride;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            SInt m2 = s.loadU8(sp, x - 2 * st);
+            SInt m1 = s.loadU8(sp, x - st);
+            SInt p0 = s.loadU8(sp, x);
+            SInt p1 = s.loadU8(sp, x + st);
+            SInt p2 = s.loadU8(sp, x + 2 * st);
+            SInt p3 = s.loadU8(sp, x + 3 * st);
+            SInt v = filterScalar(s, m2, m1, p0, p1, p2, p3);
+            v = s.srai(s.addi(v, 16), 5);
+            s.storeU8(dp, x, clipScalar(s, clip, v));
+            if ((x & 3) == 3)
+                s.loopBranch(x + 1 < w);
+        }
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+/// 16-bit intermediate buffer for the HV passes (max 16 wide, 21 rows).
+struct HvScratch {
+    alignas(16) std::int16_t tmp[16 * 21];
+    static constexpr int stride = 16;  // elements per row
+};
+
+HvScratch &
+hvScratch()
+{
+    static thread_local HvScratch scratch;
+    return scratch;
+}
+
+void
+lumaHalfHVScalar(KernelCtx &ctx, const std::uint8_t *src, int src_stride,
+                 std::uint8_t *dst, int dst_stride, int w, int h)
+{
+    auto &s = ctx.so;
+    auto &scratch = hvScratch();
+    auto *tmp_raw = reinterpret_cast<std::uint8_t *>(scratch.tmp);
+    const int tst = HvScratch::stride;  // int16 elements per row
+
+    CPtr sp = s.lip(src - 2 * src_stride);
+    Ptr tp = s.lip(tmp_raw);
+    // Horizontal pass, h+5 rows of raw 6-tap sums into int16.
+    for (int y = 0; y < h + 5; ++y) {
+        for (int x = 0; x < w; ++x) {
+            SInt m2 = s.loadU8(sp, x - 2);
+            SInt m1 = s.loadU8(sp, x - 1);
+            SInt p0 = s.loadU8(sp, x);
+            SInt p1 = s.loadU8(sp, x + 1);
+            SInt p2 = s.loadU8(sp, x + 2);
+            SInt p3 = s.loadU8(sp, x + 3);
+            SInt v = filterScalar(s, m2, m1, p0, p1, p2, p3);
+            s.storeU16(tp, 2 * x, v);
+            if ((x & 3) == 3)
+                s.loopBranch(x + 1 < w);
+        }
+        sp = s.paddi(sp, src_stride);
+        tp = s.paddi(tp, 2 * tst);
+        s.loopBranch(y + 1 < h + 5);
+    }
+
+    CPtr tq = s.lip(tmp_raw + 2 * 2 * tst);
+    Ptr dp = s.lip(dst);
+    CPtr clip = s.lip(clipTable() + clipTableOffset);
+    // Vertical pass over the intermediates.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            SInt m2 = s.loadS16(tq, 2 * (x - 2 * tst));
+            SInt m1 = s.loadS16(tq, 2 * (x - tst));
+            SInt p0 = s.loadS16(tq, 2 * x);
+            SInt p1 = s.loadS16(tq, 2 * (x + tst));
+            SInt p2 = s.loadS16(tq, 2 * (x + 2 * tst));
+            SInt p3 = s.loadS16(tq, 2 * (x + 3 * tst));
+            SInt v = filterScalar(s, m2, m1, p0, p1, p2, p3);
+            v = s.srai(s.addi(v, 512), 10);
+            s.storeU8(dp, x, clipScalar(s, clip, v));
+            if ((x & 3) == 3)
+                s.loopBranch(x + 1 < w);
+        }
+        tq = s.paddi(tq, 2 * tst);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+void
+lumaAvgScalar(KernelCtx &ctx, const std::uint8_t *a, int a_stride,
+              const std::uint8_t *b, int b_stride, std::uint8_t *dst,
+              int dst_stride, int w, int h)
+{
+    auto &s = ctx.so;
+    CPtr ap = s.lip(a);
+    CPtr bp = s.lip(b);
+    Ptr dp = s.lip(dst);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            SInt va = s.loadU8(ap, x);
+            SInt vb = s.loadU8(bp, x);
+            SInt v = s.srai(s.addi(s.add(va, vb), 1), 1);
+            s.storeU8(dp, x, v);
+            if ((x & 3) == 3)
+                s.loopBranch(x + 1 < w);
+        }
+        ap = s.paddi(ap, a_stride);
+        bp = s.paddi(bp, b_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector variants.
+// ---------------------------------------------------------------------
+
+/// Hoisted constants for the 6-tap arithmetic.
+struct TapConsts {
+    Vec vzero, v20, v5, v16, vshift5;
+};
+
+TapConsts
+tapConsts(KernelCtx &ctx, bool rounding)
+{
+    auto &v = ctx.vo;
+    TapConsts c;
+    c.vzero = v.zero();
+    c.v20 = vmx::loadConst(
+        v, vmx::makeVecS16({20, 20, 20, 20, 20, 20, 20, 20}));
+    c.v5 = v.splatis16(5);
+    if (rounding) {
+        c.v16 = vmx::loadConst(
+            v, vmx::makeVecS16({16, 16, 16, 16, 16, 16, 16, 16}));
+        c.vshift5 = c.v5;  // shift count 5 reuses the splat
+    }
+    return c;
+}
+
+/**
+ * The six shifted tap vectors for one row, per variant.
+ *
+ * This follows the structure the paper's Table III luma row implies
+ * (244 loads over 21 rows in the Altivec version, 135 in the
+ * unaligned one): each shifted tap vector is fetched independently -
+ * a full software-realigned load (two lvx + vperm, lvsl masks
+ * hoisted) in plain Altivec versus a single lvxu with unaligned
+ * support. The halved load-port traffic is precisely where the
+ * unaligned instructions buy their luma speedup.
+ */
+struct RowTaps {
+    Vec t[6];  //!< src-2 .. src+3
+};
+
+RowTaps
+loadTapsAltivec(KernelCtx &ctx, CPtr sp, const Vec masks[6])
+{
+    auto &v = ctx.vo;
+    RowTaps r;
+    for (int k = 0; k < 6; ++k) {
+        Vec lo = v.lvx(sp, k - 2);
+        Vec hi = v.lvx(sp, k + 13);
+        r.t[k] = v.vperm(lo, hi, masks[k]);
+    }
+    return r;
+}
+
+RowTaps
+loadTapsUnaligned(KernelCtx &ctx, CPtr sp)
+{
+    auto &v = ctx.vo;
+    RowTaps r;
+    for (int k = 0; k < 6; ++k)
+        r.t[k] = v.lvxu(sp, k - 2);
+    return r;
+}
+
+/// Hoist the six lvsl masks for the Altivec tap loads.
+void
+tapMasks(KernelCtx &ctx, CPtr sp, Vec masks[6])
+{
+    for (int k = 0; k < 6; ++k)
+        masks[k] = ctx.vo.lvsl(sp, k - 2);
+}
+
+/**
+ * One half (8 lanes) of the 16-bit 6-tap: t are zero-extended u16 tap
+ * vectors. With rounding: res = (20(p0+p1) - 5(m1+p2) + (m2+p3) + 16)
+ * >> 5; without: the raw sum (HV horizontal pass).
+ */
+Vec
+filter16Half(KernelCtx &ctx, const TapConsts &c, const Vec t[6],
+             bool rounding)
+{
+    auto &v = ctx.vo;
+    Vec add_p = v.add16(t[2], t[3]);
+    Vec add_m = v.add16(t[1], t[4]);
+    Vec add_e = v.add16(t[0], t[5]);
+    Vec t20 = v.mladd16(add_p, c.v20, rounding ? c.v16 : add_e);
+    Vec t5 = v.mladd16(add_m, c.v5, c.vzero);
+    Vec sum;
+    if (rounding) {
+        sum = v.add16(t20, add_e);
+        sum = v.sub16(sum, t5);
+        return v.sra16(sum, c.vshift5);
+    }
+    return v.sub16(t20, t5);
+}
+
+/// Store one row of w result bytes (lanes 0..w-1 of @p bytes).
+struct StoreCtx {
+    vmx::SwStoreCtx sw;   //!< altivec zero/ones
+    Vec wmask;            //!< width mask for partial stores
+    bool haveSw = false;
+    bool haveMask = false;
+};
+
+void
+storeRow(KernelCtx &ctx, Variant var, StoreCtx &sc, Vec bytes, Ptr dp,
+         int w, bool dst_aligned)
+{
+    auto &v = ctx.vo;
+    if (dst_aligned) {
+        // Aligned scratch: plain stvx (padding may be overwritten).
+        v.stvx(bytes, dp, 0);
+        return;
+    }
+    if (var == Variant::Unaligned) {
+        if (w == 16) {
+            v.stvxu(bytes, dp, 0);
+        } else {
+            if (!sc.haveMask) {
+                sc.wmask = vmx::makeWidthMask(v, w);
+                sc.haveMask = true;
+            }
+            vmx::hwStorePartial(v, sc.wmask, bytes, dp, 0);
+        }
+        return;
+    }
+    if (!sc.haveSw) {
+        sc.sw = vmx::swStoreUPrologue(v);
+        sc.haveSw = true;
+    }
+    if (w == 16) {
+        vmx::swStoreU(v, sc.sw, bytes, dp, 0);
+    } else {
+        if (!sc.haveMask) {
+            sc.wmask = vmx::makeWidthMask(v, w);
+            sc.haveMask = true;
+        }
+        vmx::swStorePartial(v, sc.sw, sc.wmask, bytes, dp, 0);
+    }
+}
+
+void
+lumaCopyVector(KernelCtx &ctx, Variant var, const std::uint8_t *src,
+               int src_stride, std::uint8_t *dst, int dst_stride, int w,
+               int h, bool dst_aligned)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    StoreCtx sc;
+    Vec mask;
+    if (var == Variant::Altivec)
+        mask = v.lvsl(sp);  // row-invariant
+    for (int y = 0; y < h; ++y) {
+        Vec row;
+        if (var == Variant::Altivec) {
+            Vec lo = v.lvx(sp, 0);
+            Vec hi = v.lvx(sp, 15);
+            row = v.vperm(lo, hi, mask);
+        } else {
+            row = v.lvxu(sp, 0);
+        }
+        storeRow(ctx, var, sc, row, dp, w, dst_aligned);
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+void
+lumaHalfHVector(KernelCtx &ctx, Variant var, const std::uint8_t *src,
+                int src_stride, std::uint8_t *dst, int dst_stride,
+                int w, int h, bool dst_aligned)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    TapConsts c = tapConsts(ctx, true);
+    StoreCtx sc;
+    CPtr sp = s.lip(src);
+    Ptr dp = s.lip(dst);
+    Vec masks[6];
+    if (var == Variant::Altivec)
+        tapMasks(ctx, sp, masks);
+
+    for (int y = 0; y < h; ++y) {
+        RowTaps taps = var == Variant::Altivec
+            ? loadTapsAltivec(ctx, sp, masks)
+            : loadTapsUnaligned(ctx, sp);
+        Vec hi_taps[6], lo_taps[6];
+        for (int k = 0; k < 6; ++k)
+            hi_taps[k] = v.mergeh8(taps.t[k], c.vzero);
+        Vec res_h = filter16Half(ctx, c, hi_taps, true);
+        Vec bytes;
+        if (w == 16) {
+            for (int k = 0; k < 6; ++k)
+                lo_taps[k] = v.mergel8(taps.t[k], c.vzero);
+            Vec res_l = filter16Half(ctx, c, lo_taps, true);
+            bytes = v.packsu16(res_h, res_l);
+        } else {
+            bytes = v.packsu16(res_h, res_h);
+        }
+        storeRow(ctx, var, sc, bytes, dp, w, dst_aligned);
+        sp = s.paddi(sp, src_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+/// Load one 16-byte row (variant-specific realignment), for half-V.
+Vec
+loadRow(KernelCtx &ctx, Variant var, CPtr sp, std::int64_t off,
+        const Vec &mask)
+{
+    auto &v = ctx.vo;
+    if (var == Variant::Altivec) {
+        Vec lo = v.lvx(sp, off);
+        Vec hi = v.lvx(sp, off + 15);
+        return v.vperm(lo, hi, mask);
+    }
+    return v.lvxu(sp, off);
+}
+
+void
+lumaHalfVVector(KernelCtx &ctx, Variant var, const std::uint8_t *src,
+                int src_stride, std::uint8_t *dst, int dst_stride,
+                int w, int h, bool dst_aligned)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    TapConsts c = tapConsts(ctx, true);
+    StoreCtx sc;
+    const int st = src_stride;
+    CPtr sp = s.lip(src - 2 * st);
+    Ptr dp = s.lip(dst);
+    Vec mask;
+    if (var == Variant::Altivec)
+        mask = v.lvsl(sp);  // row-invariant offset
+
+    // Rolling window of 6 rows, unpacked to 16-bit halves.
+    Vec win_h[6], win_l[6];
+    for (int k = 0; k < 5; ++k) {
+        Vec row = loadRow(ctx, var, sp, k * st, mask);
+        win_h[k] = v.mergeh8(row, c.vzero);
+        if (w == 16)
+            win_l[k] = v.mergel8(row, c.vzero);
+    }
+    sp = s.paddi(sp, 5 * st);
+
+    for (int y = 0; y < h; ++y) {
+        Vec row = loadRow(ctx, var, sp, 0, mask);
+        win_h[5] = v.mergeh8(row, c.vzero);
+        Vec res_h = filter16Half(ctx, c, win_h, true);
+        Vec bytes;
+        if (w == 16) {
+            win_l[5] = v.mergel8(row, c.vzero);
+            Vec res_l = filter16Half(ctx, c, win_l, true);
+            bytes = v.packsu16(res_h, res_l);
+        } else {
+            bytes = v.packsu16(res_h, res_h);
+        }
+        storeRow(ctx, var, sc, bytes, dp, w, dst_aligned);
+        for (int k = 0; k < 5; ++k) {
+            win_h[k] = win_h[k + 1];
+            if (w == 16)
+                win_l[k] = win_l[k + 1];
+        }
+        sp = s.paddi(sp, st);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+/**
+ * Vertical 6-tap over 16-bit intermediates with 32-bit accumulation:
+ * one half (8 outputs) per call. Pair sums stay in 16 bits; the
+ * 20/-5 weighting goes through vmsumshm on interleaved operands.
+ */
+Vec
+filterV32Half(KernelCtx &ctx, const Vec rows[6], const Vec &vc20m5,
+              const Vec &v512, const Vec &vshift10)
+{
+    auto &v = ctx.vo;
+    Vec add_p = v.adds16(rows[2], rows[3]);
+    Vec add_m = v.adds16(rows[1], rows[4]);
+    Vec add_e = v.adds16(rows[0], rows[5]);
+    Vec ia_h = v.mergeh16(add_p, add_m);
+    Vec ia_l = v.mergel16(add_p, add_m);
+    Vec acc_h = v.msums16(ia_h, vc20m5, v512);
+    Vec acc_l = v.msums16(ia_l, vc20m5, v512);
+    Vec e_h = v.unpackh16(add_e);
+    Vec e_l = v.unpackl16(add_e);
+    acc_h = v.add32(acc_h, e_h);
+    acc_l = v.add32(acc_l, e_l);
+    acc_h = v.sra32(acc_h, vshift10);
+    acc_l = v.sra32(acc_l, vshift10);
+    return v.packs32(acc_h, acc_l);
+}
+
+void
+lumaHalfHVVector(KernelCtx &ctx, Variant var, const std::uint8_t *src,
+                 int src_stride, std::uint8_t *dst, int dst_stride,
+                 int w, int h, bool dst_aligned)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    auto &scratch = hvScratch();
+    auto *tmp_raw = reinterpret_cast<std::uint8_t *>(scratch.tmp);
+    const int tst_bytes = 2 * HvScratch::stride;
+
+    // ---- Horizontal pass into the aligned 16-bit intermediate ----
+    TapConsts c = tapConsts(ctx, false);
+    CPtr sp = s.lip(src - 2 * src_stride);
+    Ptr tp = s.lip(tmp_raw);
+    Vec masks[6];
+    if (var == Variant::Altivec)
+        tapMasks(ctx, sp, masks);
+
+    for (int y = 0; y < h + 5; ++y) {
+        RowTaps taps = var == Variant::Altivec
+            ? loadTapsAltivec(ctx, sp, masks)
+            : loadTapsUnaligned(ctx, sp);
+        Vec hi_taps[6], lo_taps[6];
+        for (int k = 0; k < 6; ++k)
+            hi_taps[k] = v.mergeh8(taps.t[k], c.vzero);
+        Vec raw_h = filter16Half(ctx, c, hi_taps, false);
+        v.stvx(raw_h, tp, 0);
+        if (w == 16) {
+            for (int k = 0; k < 6; ++k)
+                lo_taps[k] = v.mergel8(taps.t[k], c.vzero);
+            Vec raw_l = filter16Half(ctx, c, lo_taps, false);
+            v.stvx(raw_l, tp, 16);
+        }
+        sp = s.paddi(sp, src_stride);
+        tp = s.paddi(tp, tst_bytes);
+        s.loopBranch(y + 1 < h + 5);
+    }
+
+    // ---- Vertical pass with 32-bit accumulation ----
+    Vec vc20m5 = vmx::loadConst(
+        v, vmx::makeVecS16({20, -5, 20, -5, 20, -5, 20, -5}));
+    Vec v512 = vmx::loadConst(
+        v, vmx::makeVecS32({512, 512, 512, 512}));
+    Vec vshift10 = v.splatis32(10);
+    StoreCtx sc;
+
+    CPtr tq = s.lip(tmp_raw);
+    Ptr dp = s.lip(dst);
+    // Rolling window of six intermediate rows (two vectors per row).
+    Vec win_h[6], win_l[6];
+    for (int k = 0; k < 5; ++k) {
+        win_h[k] = v.lvx(tq, 0);
+        if (w == 16)
+            win_l[k] = v.lvx(tq, 16);
+        tq = s.paddi(tq, tst_bytes);
+    }
+
+    for (int y = 0; y < h; ++y) {
+        win_h[5] = v.lvx(tq, 0);
+        Vec res_h = filterV32Half(ctx, win_h, vc20m5, v512, vshift10);
+        Vec bytes;
+        if (w == 16) {
+            win_l[5] = v.lvx(tq, 16);
+            Vec res_l =
+                filterV32Half(ctx, win_l, vc20m5, v512, vshift10);
+            bytes = v.packsu16(res_h, res_l);
+        } else {
+            bytes = v.packsu16(res_h, res_h);
+        }
+        storeRow(ctx, var, sc, bytes, dp, w, dst_aligned);
+        for (int k = 0; k < 5; ++k) {
+            win_h[k] = win_h[k + 1];
+            if (w == 16)
+                win_l[k] = win_l[k + 1];
+        }
+        tq = s.paddi(tq, tst_bytes);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+void
+lumaAvgVector(KernelCtx &ctx, Variant var, const std::uint8_t *a,
+              int a_stride, const std::uint8_t *b, int b_stride,
+              std::uint8_t *dst, int dst_stride, int w, int h,
+              bool dst_aligned)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+    CPtr ap = s.lip(a);
+    CPtr bp = s.lip(b);
+    Ptr dp = s.lip(dst);
+    StoreCtx sc;
+    // Averaging inputs are the aligned intermediates of the composite
+    // positions, so loads are plain lvx in both variants.
+    for (int y = 0; y < h; ++y) {
+        Vec va = v.lvx(ap, 0);
+        Vec vb = v.lvx(bp, 0);
+        Vec r = v.avgu8(va, vb);
+        storeRow(ctx, var, sc, r, dp, w, dst_aligned);
+        ap = s.paddi(ap, a_stride);
+        bp = s.paddi(bp, b_stride);
+        dp = s.paddi(dp, dst_stride);
+        s.loopBranch(y + 1 < h);
+    }
+}
+
+/// Aligned scratch for composite quarter-pel positions.
+struct QpelScratch {
+    alignas(16) std::uint8_t a[16 * 16 + 16];
+    alignas(16) std::uint8_t b[16 * 16 + 16];
+    static constexpr int stride = 16;
+};
+
+QpelScratch &
+qpelScratch()
+{
+    static thread_local QpelScratch scratch;
+    return scratch;
+}
+
+} // namespace
+
+void
+lumaCopy(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+         int src_stride, std::uint8_t *dst, int dst_stride, int w,
+         int h, bool dst_aligned)
+{
+    if (v == Variant::Scalar)
+        lumaCopyScalar(ctx, src, src_stride, dst, dst_stride, w, h);
+    else
+        lumaCopyVector(ctx, v, src, src_stride, dst, dst_stride, w, h,
+                       dst_aligned);
+}
+
+void
+lumaHalfH(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+          int src_stride, std::uint8_t *dst, int dst_stride, int w,
+          int h, bool dst_aligned)
+{
+    if (v == Variant::Scalar)
+        lumaHalfHScalar(ctx, src, src_stride, dst, dst_stride, w, h);
+    else
+        lumaHalfHVector(ctx, v, src, src_stride, dst, dst_stride, w, h,
+                        dst_aligned);
+}
+
+void
+lumaHalfV(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+          int src_stride, std::uint8_t *dst, int dst_stride, int w,
+          int h, bool dst_aligned)
+{
+    if (v == Variant::Scalar)
+        lumaHalfVScalar(ctx, src, src_stride, dst, dst_stride, w, h);
+    else
+        lumaHalfVVector(ctx, v, src, src_stride, dst, dst_stride, w, h,
+                        dst_aligned);
+}
+
+void
+lumaHalfHV(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+           int src_stride, std::uint8_t *dst, int dst_stride, int w,
+           int h, bool dst_aligned)
+{
+    if (v == Variant::Scalar)
+        lumaHalfHVScalar(ctx, src, src_stride, dst, dst_stride, w, h);
+    else
+        lumaHalfHVVector(ctx, v, src, src_stride, dst, dst_stride, w, h,
+                         dst_aligned);
+}
+
+void
+lumaAvg(KernelCtx &ctx, Variant v, const std::uint8_t *a, int a_stride,
+        const std::uint8_t *b, int b_stride, std::uint8_t *dst,
+        int dst_stride, int w, int h, bool dst_aligned)
+{
+    if (v == Variant::Scalar)
+        lumaAvgScalar(ctx, a, a_stride, b, b_stride, dst, dst_stride, w,
+                      h);
+    else
+        lumaAvgVector(ctx, v, a, a_stride, b, b_stride, dst, dst_stride,
+                      w, h, dst_aligned);
+}
+
+void
+lumaMc(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+       int src_stride, std::uint8_t *dst, int dst_stride, int w, int h,
+       int fx, int fy)
+{
+    assert(w <= 16 && h <= 16);
+    auto &scratch = qpelScratch();
+    const int ts = QpelScratch::stride;
+    std::uint8_t *ta = scratch.a;
+    std::uint8_t *tb = scratch.b;
+
+    auto half_h = [&](std::uint8_t *out, int row_off) {
+        lumaHalfH(ctx, v, src + row_off * src_stride, src_stride, out,
+                  ts, w, h, true);
+    };
+    auto half_v = [&](std::uint8_t *out, int col_off) {
+        lumaHalfV(ctx, v, src + col_off, src_stride, out, ts, w, h,
+                  true);
+    };
+    auto half_hv = [&](std::uint8_t *out) {
+        lumaHalfHV(ctx, v, src, src_stride, out, ts, w, h, true);
+    };
+    auto copy = [&](std::uint8_t *out, int col_off, int row_off) {
+        lumaCopy(ctx, v, src + row_off * src_stride + col_off,
+                 src_stride, out, ts, w, h, true);
+    };
+
+    switch (fy * 4 + fx) {
+      case 0:
+        lumaCopy(ctx, v, src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 2:
+        lumaHalfH(ctx, v, src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 8:
+        lumaHalfV(ctx, v, src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 10:
+        lumaHalfHV(ctx, v, src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 1:
+        copy(ta, 0, 0);
+        half_h(tb, 0);
+        break;
+      case 3:
+        half_h(ta, 0);
+        copy(tb, 1, 0);
+        break;
+      case 4:
+        copy(ta, 0, 0);
+        half_v(tb, 0);
+        break;
+      case 5:
+        half_h(ta, 0);
+        half_v(tb, 0);
+        break;
+      case 6:
+        half_h(ta, 0);
+        half_hv(tb);
+        break;
+      case 7:
+        half_h(ta, 0);
+        half_v(tb, 1);
+        break;
+      case 9:
+        half_v(ta, 0);
+        half_hv(tb);
+        break;
+      case 11:
+        half_hv(ta);
+        half_v(tb, 1);
+        break;
+      case 12:
+        copy(ta, 0, 1);
+        half_v(tb, 0);
+        break;
+      case 13:
+        half_v(ta, 0);
+        half_h(tb, 1);
+        break;
+      case 14:
+        half_hv(ta);
+        half_h(tb, 1);
+        break;
+      case 15:
+        half_v(ta, 1);
+        half_h(tb, 1);
+        break;
+      default:
+        return;
+    }
+    lumaAvg(ctx, v, ta, ts, tb, ts, dst, dst_stride, w, h);
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Traced luma quarter-pel MC kernels (6-tap), widths 16/8/4.
+ *
+ * Primitives (copy, half-H, half-V, half-HV, pairwise average) compose
+ * into the full 16-position quarter-pel interpolator exactly like the
+ * reference implementation, so every variant is bit-exact against
+ * lumaMcRef. The paper's "luma NxN" kernel is the centre half-pel
+ * position (2,2): the horizontal pass over h+5 rows into an aligned
+ * 16-bit intermediate, then the vertical pass with 32-bit arithmetic.
+ *
+ * Realignment structure per variant:
+ *  - Altivec: six hoisted lvsl masks; per row two aligned loads plus a
+ *    third behind an offset-dependent branch, six vperms for the
+ *    shifted tap vectors; unaligned stores via the Fig 5 sequences.
+ *  - Unaligned: two lvxu per row and five constant-shift vsldoi;
+ *    stores via stvxu / masked stvxu.
+ */
+
+#ifndef UASIM_H264_LUMA_KERNELS_HH
+#define UASIM_H264_LUMA_KERNELS_HH
+
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+/**
+ * dst = src (full-pel copy). @p dst_aligned marks a 16B-aligned
+ * scratch destination (intermediates of composite positions), letting
+ * both vector variants use plain stvx for it like compiled code would.
+ */
+void lumaCopy(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+              int src_stride, std::uint8_t *dst, int dst_stride, int w,
+              int h, bool dst_aligned = false);
+
+/// Horizontal half-pel.
+void lumaHalfH(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+               int src_stride, std::uint8_t *dst, int dst_stride, int w,
+               int h, bool dst_aligned = false);
+
+/// Vertical half-pel.
+void lumaHalfV(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+               int src_stride, std::uint8_t *dst, int dst_stride, int w,
+               int h, bool dst_aligned = false);
+
+/// Centre half-pel (H filter, then V filter over 16-bit intermediates).
+void lumaHalfHV(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+                int src_stride, std::uint8_t *dst, int dst_stride,
+                int w, int h, bool dst_aligned = false);
+
+/// dst = rounded average of two w x h blocks.
+void lumaAvg(KernelCtx &ctx, Variant v, const std::uint8_t *a,
+             int a_stride, const std::uint8_t *b, int b_stride,
+             std::uint8_t *dst, int dst_stride, int w, int h,
+             bool dst_aligned = false);
+
+/// Full quarter-pel MC for fractional position (fx, fy), 0..3 each.
+void lumaMc(KernelCtx &ctx, Variant v, const std::uint8_t *src,
+            int src_stride, std::uint8_t *dst, int dst_stride, int w,
+            int h, int fx, int fy);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_LUMA_KERNELS_HH

@@ -1,0 +1,184 @@
+#include "h264/luma_ref.hh"
+
+#include <vector>
+
+#include "h264/tables.hh"
+
+namespace uasim::h264 {
+
+void
+lumaCopyRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+            int dst_stride, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            dst[x] = src[x];
+        src += src_stride;
+        dst += dst_stride;
+    }
+}
+
+void
+lumaHalfHRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+             int dst_stride, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = filter6(src[x - 2], src[x - 1], src[x], src[x + 1],
+                            src[x + 2], src[x + 3]);
+            dst[x] = clipU8((v + 16) >> 5);
+        }
+        src += src_stride;
+        dst += dst_stride;
+    }
+}
+
+void
+lumaHalfVRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+             int dst_stride, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = filter6(src[x - 2 * src_stride],
+                            src[x - src_stride], src[x],
+                            src[x + src_stride], src[x + 2 * src_stride],
+                            src[x + 3 * src_stride]);
+            dst[x] = clipU8((v + 16) >> 5);
+        }
+        src += src_stride;
+        dst += dst_stride;
+    }
+}
+
+void
+lumaHalfHVRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+              int dst_stride, int w, int h)
+{
+    // Horizontal filter over h+5 rows into 32-bit intermediates, then
+    // the vertical filter with the 10-bit shift.
+    std::vector<int> tmp(std::size_t(w) * (h + 5));
+    const std::uint8_t *s = src - 2 * src_stride;
+    for (int y = 0; y < h + 5; ++y) {
+        for (int x = 0; x < w; ++x) {
+            tmp[std::size_t(y) * w + x] =
+                filter6(s[x - 2], s[x - 1], s[x], s[x + 1], s[x + 2],
+                        s[x + 3]);
+        }
+        s += src_stride;
+    }
+    for (int y = 0; y < h; ++y) {
+        const int *t = &tmp[std::size_t(y + 2) * w];
+        for (int x = 0; x < w; ++x) {
+            int v = filter6(t[x - 2 * w], t[x - w], t[x], t[x + w],
+                            t[x + 2 * w], t[x + 3 * w]);
+            dst[x] = clipU8((v + 512) >> 10);
+        }
+        dst += dst_stride;
+    }
+}
+
+namespace {
+
+void
+avgBlocks(const std::uint8_t *a, int a_stride, const std::uint8_t *b,
+          int b_stride, std::uint8_t *dst, int dst_stride, int w, int h)
+{
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            dst[x] = static_cast<std::uint8_t>((a[x] + b[x] + 1) >> 1);
+        a += a_stride;
+        b += b_stride;
+        dst += dst_stride;
+    }
+}
+
+} // namespace
+
+void
+lumaMcRef(const std::uint8_t *src, int src_stride, std::uint8_t *dst,
+          int dst_stride, int w, int h, int fx, int fy)
+{
+    // Scratch planes for the half-pel intermediates.
+    std::vector<std::uint8_t> ba(std::size_t(w) * h);
+    std::vector<std::uint8_t> bb(std::size_t(w) * h);
+
+    auto half_h = [&](std::uint8_t *out, int row_off) {
+        lumaHalfHRef(src + row_off * src_stride, src_stride, out, w, w,
+                     h);
+    };
+    auto half_v = [&](std::uint8_t *out, int col_off) {
+        lumaHalfVRef(src + col_off, src_stride, out, w, w, h);
+    };
+    auto copy = [&](std::uint8_t *out, int col_off, int row_off) {
+        lumaCopyRef(src + row_off * src_stride + col_off, src_stride,
+                    out, w, w, h);
+    };
+
+    switch (fy * 4 + fx) {
+      case 0:  // G
+        lumaCopyRef(src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 1:  // a = avg(G, b)
+        copy(ba.data(), 0, 0);
+        half_h(bb.data(), 0);
+        break;
+      case 2:  // b
+        lumaHalfHRef(src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 3:  // c = avg(b, H)
+        half_h(ba.data(), 0);
+        copy(bb.data(), 1, 0);
+        break;
+      case 4:  // d = avg(G, h)
+        copy(ba.data(), 0, 0);
+        half_v(bb.data(), 0);
+        break;
+      case 5:  // e = avg(b, h)
+        half_h(ba.data(), 0);
+        half_v(bb.data(), 0);
+        break;
+      case 6:  // f = avg(b, j)
+        half_h(ba.data(), 0);
+        lumaHalfHVRef(src, src_stride, bb.data(), w, w, h);
+        break;
+      case 7:  // g = avg(b, m)
+        half_h(ba.data(), 0);
+        half_v(bb.data(), 1);
+        break;
+      case 8:  // h
+        lumaHalfVRef(src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 9:  // i = avg(h, j)
+        half_v(ba.data(), 0);
+        lumaHalfHVRef(src, src_stride, bb.data(), w, w, h);
+        break;
+      case 10: // j
+        lumaHalfHVRef(src, src_stride, dst, dst_stride, w, h);
+        return;
+      case 11: // k = avg(j, m)
+        lumaHalfHVRef(src, src_stride, ba.data(), w, w, h);
+        half_v(bb.data(), 1);
+        break;
+      case 12: // n = avg(M, h)
+        copy(ba.data(), 0, 1);
+        half_v(bb.data(), 0);
+        break;
+      case 13: // p = avg(h, s)
+        half_v(ba.data(), 0);
+        half_h(bb.data(), 1);
+        break;
+      case 14: // q = avg(j, s)
+        lumaHalfHVRef(src, src_stride, ba.data(), w, w, h);
+        half_h(bb.data(), 1);
+        break;
+      case 15: // r = avg(m, s)
+        half_v(ba.data(), 1);
+        half_h(bb.data(), 1);
+        break;
+      default:
+        return;
+    }
+    avgBlocks(ba.data(), w, bb.data(), w, dst, dst_stride, w, h);
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reference (untraced) H.264 luma quarter-pel motion compensation.
+ *
+ * Semantics follow the H.264 standard: half-pel samples through the
+ * 6-tap (1,-5,20,20,-5,1) filter, quarter-pel samples by averaging the
+ * neighbouring full/half-pel samples. These functions define functional
+ * correctness for every traced kernel variant.
+ */
+
+#ifndef UASIM_H264_LUMA_REF_HH
+#define UASIM_H264_LUMA_REF_HH
+
+#include <cstdint>
+
+namespace uasim::h264 {
+
+/// Full-pel copy.
+void lumaCopyRef(const std::uint8_t *src, int src_stride,
+                 std::uint8_t *dst, int dst_stride, int w, int h);
+
+/// Horizontal half-pel ('b' samples): clip((filter6 + 16) >> 5).
+void lumaHalfHRef(const std::uint8_t *src, int src_stride,
+                  std::uint8_t *dst, int dst_stride, int w, int h);
+
+/// Vertical half-pel ('h' samples).
+void lumaHalfVRef(const std::uint8_t *src, int src_stride,
+                  std::uint8_t *dst, int dst_stride, int w, int h);
+
+/// Centre half-pel ('j' samples): horizontal filter first, then the
+/// vertical filter over 20-bit intermediates, clip((x + 512) >> 10).
+void lumaHalfHVRef(const std::uint8_t *src, int src_stride,
+                   std::uint8_t *dst, int dst_stride, int w, int h);
+
+/**
+ * Full quarter-pel MC for fractional position (@p fx, @p fy), each in
+ * 0..3, composed from the primitives above per the standard's sample
+ * derivation (Table 8-12 of the spec).
+ */
+void lumaMcRef(const std::uint8_t *src, int src_stride,
+               std::uint8_t *dst, int dst_stride, int w, int h,
+               int fx, int fy);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_LUMA_REF_HH

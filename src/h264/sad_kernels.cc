@@ -1,0 +1,119 @@
+#include "h264/sad_kernels.hh"
+
+#include "vmx/realign.hh"
+
+namespace uasim::h264 {
+
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::SInt;
+using vmx::Vec;
+
+int
+sadScalar(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+          const std::uint8_t *ref, int ref_stride, int size)
+{
+    auto &s = ctx.so;
+    CPtr c = s.lip(cur);
+    CPtr r = s.lip(ref);
+    SInt acc = s.li(0);
+    for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+            SInt a = s.loadU8(c, x);
+            SInt b = s.loadU8(r, x);
+            SInt d = s.sub(a, b);
+            // Branchy abs, as in the reference C code the paper's
+            // scalar counts imply (one branch per pixel).
+            SInt neg = s.cmplti(d, 0);
+            if (s.branch(neg))
+                d = s.neg(d);
+            acc = s.add(acc, d);
+            // Per-pixel loop-closing branch (inner loop not unrolled).
+            s.loopBranch(x + 1 < size);
+        }
+        c = s.paddi(c, cur_stride);
+        r = s.paddi(r, ref_stride);
+        s.loopBranch(y + 1 < size);
+    }
+    return static_cast<int>(acc.v);
+}
+
+namespace {
+
+/// Common vector body; @p load is the per-row unaligned-load idiom.
+template <typename LoadFn>
+int
+sadVectorBody(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+              const std::uint8_t *ref, int ref_stride, int size,
+              LoadFn &&load)
+{
+    auto &s = ctx.so;
+    auto &v = ctx.vo;
+
+    CPtr c = s.lip(cur);
+    CPtr r = s.lip(ref);
+    Vec vzero = v.zero();
+    Vec acc = vzero;
+    // Narrow blocks mask the lanes beyond the block width.
+    Vec wmask;
+    if (size < 16)
+        wmask = vmx::makeWidthMask(v, size);
+
+    for (int y = 0; y < size; ++y) {
+        Vec a = load(c);
+        Vec b = load(r);
+        Vec mx = v.maxu8(a, b);
+        Vec mn = v.minu8(a, b);
+        Vec d = v.subu8(mx, mn);
+        if (size < 16)
+            d = v.and_(d, wmask);
+        acc = v.sum4su8(d, acc);
+        c = s.paddi(c, cur_stride);
+        r = s.paddi(r, ref_stride);
+        s.loopBranch(y + 1 < size);
+    }
+
+    Vec total = v.sums32(acc, vzero);
+    // Extract: spill the vector and reload the low word, the classic
+    // Altivec reduction epilogue.
+    alignas(16) static thread_local std::uint8_t spill[16];
+    Ptr sp = s.lip(spill);
+    v.stvx(total, sp, 0);
+    SInt out = s.loadS32(CPtr{sp}, 12);
+    return static_cast<int>(out.v);
+}
+
+} // namespace
+
+int
+sadAltivec(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+           const std::uint8_t *ref, int ref_stride, int size)
+{
+    return sadVectorBody(ctx, cur, cur_stride, ref, ref_stride, size,
+                         [&](CPtr p) { return vmx::swLoadU(ctx.vo, p); });
+}
+
+int
+sadUnaligned(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+             const std::uint8_t *ref, int ref_stride, int size)
+{
+    return sadVectorBody(ctx, cur, cur_stride, ref, ref_stride, size,
+                         [&](CPtr p) { return ctx.vo.lvxu(p); });
+}
+
+int
+sadKernel(KernelCtx &ctx, Variant v, const std::uint8_t *cur,
+          int cur_stride, const std::uint8_t *ref, int ref_stride,
+          int size)
+{
+    switch (v) {
+      case Variant::Scalar:
+        return sadScalar(ctx, cur, cur_stride, ref, ref_stride, size);
+      case Variant::Altivec:
+        return sadAltivec(ctx, cur, cur_stride, ref, ref_stride, size);
+      default:
+        return sadUnaligned(ctx, cur, cur_stride, ref, ref_stride, size);
+    }
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Traced SAD kernels (scalar / Altivec / unaligned), sizes 16/8/4.
+ *
+ * The Altivec structure mirrors the paper's Table III SAD row exactly:
+ * per row, two software-realigned loads (lvsl + 2x lvx + vperm each),
+ * the max/min/sub absolute-difference idiom, and a vsum4ubs
+ * accumulation; a final vsumsws + store + scalar reload extracts the
+ * result. The unaligned variant replaces each 4-instruction realigned
+ * load with a single lvxu, removing ~95% of the permute instructions.
+ */
+
+#ifndef UASIM_H264_SAD_KERNELS_HH
+#define UASIM_H264_SAD_KERNELS_HH
+
+#include "h264/kernels.hh"
+
+namespace uasim::h264 {
+
+/// SAD over a size x size block; @p size in {16, 8, 4}.
+int sadScalar(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+              const std::uint8_t *ref, int ref_stride, int size);
+
+int sadAltivec(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+               const std::uint8_t *ref, int ref_stride, int size);
+
+int sadUnaligned(KernelCtx &ctx, const std::uint8_t *cur, int cur_stride,
+                 const std::uint8_t *ref, int ref_stride, int size);
+
+/// Dispatch by variant.
+int sadKernel(KernelCtx &ctx, Variant v, const std::uint8_t *cur,
+              int cur_stride, const std::uint8_t *ref, int ref_stride,
+              int size);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_SAD_KERNELS_HH

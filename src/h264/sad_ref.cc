@@ -1,0 +1,21 @@
+#include "h264/sad_ref.hh"
+
+namespace uasim::h264 {
+
+int
+sadRef(const std::uint8_t *cur, int cur_stride, const std::uint8_t *ref,
+       int ref_stride, int w, int h)
+{
+    int sad = 0;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int d = cur[x] - ref[x];
+            sad += d < 0 ? -d : d;
+        }
+        cur += cur_stride;
+        ref += ref_stride;
+    }
+    return sad;
+}
+
+} // namespace uasim::h264

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reference sum-of-absolute-differences (the motion-estimation metric).
+ */
+
+#ifndef UASIM_H264_SAD_REF_HH
+#define UASIM_H264_SAD_REF_HH
+
+#include <cstdint>
+
+namespace uasim::h264 {
+
+/// SAD over a w x h block.
+int sadRef(const std::uint8_t *cur, int cur_stride,
+           const std::uint8_t *ref, int ref_stride, int w, int h);
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_SAD_REF_HH

@@ -1,0 +1,26 @@
+#include "h264/tables.hh"
+
+namespace uasim::h264 {
+
+namespace {
+
+struct ClipTableHolder {
+    std::uint8_t table[clipTableSize];
+
+    ClipTableHolder()
+    {
+        for (int i = 0; i < clipTableSize; ++i)
+            table[i] = clipU8(i - clipTableOffset);
+    }
+};
+
+} // namespace
+
+const std::uint8_t *
+clipTable()
+{
+    static ClipTableHolder holder;
+    return holder.table;
+}
+
+} // namespace uasim::h264

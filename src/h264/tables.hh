@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared H.264 kernel constants and the FFmpeg-style clip table.
+ */
+
+#ifndef UASIM_H264_TABLES_HH
+#define UASIM_H264_TABLES_HH
+
+#include <cstdint>
+
+namespace uasim::h264 {
+
+/// Clip to [0, 255].
+inline std::uint8_t
+clipU8(int x)
+{
+    return static_cast<std::uint8_t>(x < 0 ? 0 : (x > 255 ? 255 : x));
+}
+
+/**
+ * FFmpeg-style crop table: clipTable()[clipTableOffset + x] == clipU8(x)
+ * for x in [-clipTableOffset, 255 + clipTableOffset). Scalar kernels
+ * clip through this table (one load per clip), exactly like the
+ * reference C code the paper's scalar numbers come from.
+ */
+constexpr int clipTableOffset = 512;
+constexpr int clipTableSize = 512 + 256 + 512;
+
+const std::uint8_t *clipTable();
+
+/// 6-tap half-pel filter: (1, -5, 20, 20, -5, 1).
+inline int
+filter6(int a, int b, int c, int d, int e, int f)
+{
+    return a - 5 * b + 20 * c + 20 * d - 5 * e + f;
+}
+
+} // namespace uasim::h264
+
+#endif // UASIM_H264_TABLES_HH

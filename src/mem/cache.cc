@@ -1,0 +1,92 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace uasim::mem {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.lineSize > 0 &&
+           std::has_single_bit(std::uint64_t{cfg_.lineSize}));
+    assert(cfg_.assoc > 0);
+    numSets_ = static_cast<unsigned>(
+        cfg_.size / (std::uint64_t{cfg_.lineSize} * cfg_.assoc));
+    assert(numSets_ > 0 && std::has_single_bit(std::uint64_t{numSets_}));
+    setShift_ = std::countr_zero(std::uint64_t{cfg_.lineSize});
+    lines_.resize(std::size_t{numSets_} * cfg_.assoc);
+}
+
+Cache::Line *
+Cache::set(std::uint64_t addr)
+{
+    std::uint64_t idx = (addr >> setShift_) & (numSets_ - 1);
+    return &lines_[idx * cfg_.assoc];
+}
+
+const Cache::Line *
+Cache::set(std::uint64_t addr) const
+{
+    std::uint64_t idx = (addr >> setShift_) & (numSets_ - 1);
+    return &lines_[idx * cfg_.assoc];
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    std::uint64_t tag = addr >> setShift_;
+    Line *ways = set(addr);
+    ++stats_.accesses;
+    ++lruClock_;
+
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lru = lruClock_;
+            ways[w].dirty |= is_write;
+            ++stats_.hits;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+
+    // Choose victim: first invalid way, else LRU.
+    Line *victim = &ways[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lru < victim->lru)
+            victim = &ways[w];
+    }
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = lruClock_;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    std::uint64_t tag = addr >> setShift_;
+    const Line *ways = set(addr);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace uasim::mem

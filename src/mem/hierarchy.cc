@@ -1,0 +1,76 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+namespace uasim::mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2)
+{
+}
+
+int
+MemoryHierarchy::lineLatency(std::uint64_t line_addr, bool is_write,
+                             AccessResult &res)
+{
+    if (l1d_.access(line_addr, is_write))
+        return 0;
+    res.l1Miss = true;
+    if (l2_.access(line_addr, false))
+        return cfg_.l2Latency;
+    res.l2Miss = true;
+    return cfg_.l2Latency + cfg_.memLatency;
+}
+
+AccessResult
+MemoryHierarchy::dataAccess(std::uint64_t addr, unsigned size,
+                            bool is_write)
+{
+    AccessResult res;
+    std::uint64_t first = l1d_.lineAddr(addr);
+    std::uint64_t last = l1d_.lineAddr(addr + size - 1);
+
+    int lat = lineLatency(first, is_write, res);
+    if (last != first) {
+        res.crossedLine = true;
+        int lat2 = lineLatency(last, is_write, res);
+        lat = cfg_.parallelBanks ? std::max(lat, lat2) : lat + lat2;
+    }
+    res.extraLatency = lat;
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::fetchAccess(std::uint64_t pc)
+{
+    AccessResult res;
+    std::uint64_t line = l1i_.lineAddr(pc);
+    if (l1i_.access(line, false))
+        return res;
+    res.l1Miss = true;
+    if (l2_.access(line, false)) {
+        res.extraLatency = cfg_.l2Latency;
+        return res;
+    }
+    res.l2Miss = true;
+    res.extraLatency = cfg_.l2Latency + cfg_.memLatency;
+    return res;
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+}
+
+void
+MemoryHierarchy::clearStats()
+{
+    l1i_.clearStats();
+    l1d_.clearStats();
+    l2_.clearStats();
+}
+
+} // namespace uasim::mem

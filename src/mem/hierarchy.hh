@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Two-level memory hierarchy with the paper's alignment-network model.
+ *
+ * Geometry follows Table II: split 32KB L1-I / L1-D, unified 1MB L2
+ * (12-cycle latency), 250-cycle main memory. A data access that spans
+ * two cache lines probes both; with the two-bank interleaved alignment
+ * network of Fig 7 the probes proceed in parallel (latency = max),
+ * without it they serialize (latency = sum) - that switch is the
+ * "short bus / sequential miss handling" restriction of older designs.
+ */
+
+#ifndef UASIM_MEM_HIERARCHY_HH
+#define UASIM_MEM_HIERARCHY_HH
+
+#include "mem/cache.hh"
+
+namespace uasim::mem {
+
+/// Full hierarchy configuration (Table II defaults).
+struct HierarchyConfig {
+    CacheConfig l1i{"L1-I", 32 * 1024, 128, 1};
+    CacheConfig l1d{"L1-D", 32 * 1024, 128, 2};
+    CacheConfig l2{"L2", 1024 * 1024, 128, 8};
+    int l2Latency = 12;     //!< extra cycles for an L1 miss / L2 hit
+    int memLatency = 250;   //!< extra cycles for an L2 miss
+    /// Fig 7 two-bank interleaved L1-D: line-crossing accesses probe
+    /// both lines in parallel.
+    bool parallelBanks = true;
+};
+
+/// Outcome of one data-side access.
+struct AccessResult {
+    int extraLatency = 0;   //!< cycles beyond the L1-hit latency
+    bool l1Miss = false;
+    bool l2Miss = false;
+    bool crossedLine = false;
+};
+
+/**
+ * The hierarchy model: owns the three caches and computes the extra
+ * latency of each access. Bandwidth (ports, MSHRs) is arbitrated by the
+ * pipeline model, not here.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &cfg);
+
+    /**
+     * Data access covering [addr, addr+size).
+     * Accesses the L1-D (both lines if the range crosses a boundary)
+     * and the L2 on miss.
+     */
+    AccessResult dataAccess(std::uint64_t addr, unsigned size,
+                            bool is_write);
+
+    /// Instruction fetch of the line containing @p pc.
+    AccessResult fetchAccess(std::uint64_t pc);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /// Invalidate all levels (stats preserved).
+    void flush();
+    void clearStats();
+
+  private:
+    /// One line's latency through L1-D -> L2 -> memory.
+    int lineLatency(std::uint64_t line_addr, bool is_write,
+                    AccessResult &res);
+
+    HierarchyConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace uasim::mem
+
+#endif // UASIM_MEM_HIERARCHY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gshare branch direction predictor.
+ */
+
+#ifndef UASIM_TIMING_BRANCH_PRED_HH
+#define UASIM_TIMING_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uasim::timing {
+
+/**
+ * Classic gshare: global history XOR PC indexes a table of 2-bit
+ * saturating counters. All three Table II configurations share one
+ * predictor configuration, as the paper specifies.
+ */
+class BranchPredictor
+{
+  public:
+    /// @param log2_entries table size, default 4K counters.
+    explicit BranchPredictor(unsigned log2_entries = 12)
+        : mask_((1u << log2_entries) - 1), table_(mask_ + 1, 2)
+    {
+    }
+
+    /// Predict the direction of the branch at @p pc.
+    bool
+    predict(std::uint64_t pc) const
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    /// Train with the resolved direction and update global history.
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &ctr = table_[index(pc)];
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+    }
+
+  private:
+    std::size_t
+    index(std::uint64_t pc) const
+    {
+        return ((pc >> 2) ^ history_) & mask_;
+    }
+
+    std::uint64_t history_ = 0;
+    std::uint64_t mask_;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace uasim::timing
+
+#endif // UASIM_TIMING_BRANCH_PRED_HH

@@ -1,0 +1,134 @@
+#include "timing/config.hh"
+
+namespace uasim::timing {
+
+CoreConfig
+CoreConfig::twoWayInOrder()
+{
+    CoreConfig c;
+    c.name = "2w";
+    c.outOfOrder = false;
+    // Narrow dual-issue embedded-style core: little room for static
+    // scheduling around the strict pair-issue constraints.
+    c.inorderLookahead = 2;
+    c.fetchWidth = 2;
+    c.retireWidth = 4;
+    c.inflight = 80;
+    c.issueQ = 10;
+    c.branchQ = 5;
+    c.ibuffer = 12;
+    c.units = {2, 1, 1, 1, 1, 1, 1};
+    c.gprPhys = c.fprPhys = c.vprPhys = 60;
+    c.dReadPorts = 1;
+    c.dWritePorts = 1;
+    c.missMax = 2;
+    c.storeQ = 16;
+    return c;
+}
+
+CoreConfig
+CoreConfig::fourWayOoO()
+{
+    CoreConfig c;
+    c.name = "4w";
+    c.outOfOrder = true;
+    c.fetchWidth = 4;
+    c.retireWidth = 6;
+    c.inflight = 160;
+    c.issueQ = 20;
+    c.branchQ = 12;
+    c.ibuffer = 24;
+    c.units = {3, 2, 2, 2, 2, 1, 1};
+    c.gprPhys = c.fprPhys = c.vprPhys = 80;
+    c.dReadPorts = 2;
+    c.dWritePorts = 1;
+    c.missMax = 4;
+    c.storeQ = 24;
+    return c;
+}
+
+CoreConfig
+CoreConfig::eightWayOoO()
+{
+    CoreConfig c;
+    c.name = "8w";
+    c.outOfOrder = true;
+    c.fetchWidth = 8;
+    c.retireWidth = 12;
+    c.inflight = 255;
+    c.issueQ = 40;
+    c.branchQ = 40;
+    c.ibuffer = 48;
+    c.units = {6, 4, 4, 4, 4, 2, 2};
+    c.gprPhys = c.fprPhys = c.vprPhys = 128;
+    c.dReadPorts = 4;
+    c.dWritePorts = 2;
+    c.missMax = 8;
+    c.storeQ = 32;
+    return c;
+}
+
+const char *const CoreConfig::presetNames[3] = {"2w", "4w", "8w"};
+
+CoreConfig
+CoreConfig::preset(int idx)
+{
+    switch (idx) {
+      case 0: return twoWayInOrder();
+      case 1: return fourWayOoO();
+      default: return eightWayOoO();
+    }
+}
+
+Unit
+unitFor(trace::InstrClass cls)
+{
+    using IC = trace::InstrClass;
+    switch (cls) {
+      case IC::IntAlu:
+      case IC::IntMul:
+        return Unit::FX;
+      case IC::FpAlu:
+        return Unit::FP;
+      case IC::Load:
+      case IC::Store:
+      case IC::VecLoad:
+      case IC::VecStore:
+      case IC::VecLoadU:
+      case IC::VecStoreU:
+        return Unit::LS;
+      case IC::Branch:
+        return Unit::BR;
+      case IC::VecSimple:
+        return Unit::VI;
+      case IC::VecComplex:
+        return Unit::VCMPLX;
+      case IC::VecPerm:
+      default:
+        return Unit::VPERM;
+    }
+}
+
+RegFile
+destRegFile(trace::InstrClass cls)
+{
+    using IC = trace::InstrClass;
+    switch (cls) {
+      case IC::IntAlu:
+      case IC::IntMul:
+      case IC::Load:
+        return RegFile::GPR;
+      case IC::FpAlu:
+        return RegFile::FPR;
+      case IC::VecLoad:
+      case IC::VecLoadU:
+      case IC::VecSimple:
+      case IC::VecComplex:
+      case IC::VecPerm:
+        return RegFile::VPR;
+      default:
+        return RegFile::None;
+    }
+}
+
+} // namespace uasim::timing

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Processor configurations (the paper's Table II) and per-class
+ * latencies.
+ */
+
+#ifndef UASIM_TIMING_CONFIG_HH
+#define UASIM_TIMING_CONFIG_HH
+
+#include <string>
+
+#include "mem/hierarchy.hh"
+#include "trace/instr.hh"
+
+namespace uasim::timing {
+
+/// Execution-latency knobs (cycles).
+struct LatencyConfig {
+    int intAlu = 1;
+    int intMul = 3;
+    int fpAlu = 6;
+    int branchResolve = 1;
+    int vecSimple = 2;
+    int vecComplex = 4;
+    int vecPerm = 2;
+    /// Load-to-use latency on an L1-D hit; the paper fixes this at 4
+    /// for both aligned and unaligned accesses in the upper-bound runs.
+    int load = 4;
+    /**
+     * Extra cycles charged to a dynamically unaligned lvxu (Fig 9
+     * sweeps this over 0/1/2/4/6). The paper's proposed realignment
+     * network costs +1.
+     */
+    int unalignedLoadExtra = 0;
+    /// Same for stvxu; the proposed network costs +2.
+    int unalignedStoreExtra = 0;
+    /// Front-end refill after a mispredicted branch.
+    int mispredictPenalty = 12;
+};
+
+/// Functional-unit pools (Table II "Units" rows).
+struct UnitConfig {
+    int fx = 2;      //!< scalar integer
+    int fp = 1;      //!< scalar float
+    int ls = 1;      //!< load/store
+    int br = 1;      //!< branch
+    int vi = 1;      //!< vector simple integer
+    int vperm = 1;   //!< vector permute
+    int vcmplx = 1;  //!< vector complex
+};
+
+/// One simulated core (one column of Table II).
+struct CoreConfig {
+    std::string name = "2w";
+    bool outOfOrder = false;
+    /**
+     * In-order static-scheduling window: an in-order core may issue a
+     * ready younger instruction from the next N waiting entries. This
+     * approximates the compile-time scheduling real in-order targets
+     * rely on (the trace is in naive emission order); 1 = strict
+     * head-blocking issue.
+     */
+    int inorderLookahead = 4;
+    int fetchWidth = 2;    //!< fetch = rename = dispatch = issue width
+    int retireWidth = 4;
+    int inflight = 80;     //!< ROB / max in-flight instructions
+    int issueQ = 10;       //!< non-branch issue-queue capacity
+    int branchQ = 5;       //!< branch issue-queue capacity
+    int ibuffer = 12;      //!< fetch-buffer capacity
+    UnitConfig units;
+    int gprPhys = 60;
+    int fprPhys = 60;
+    int vprPhys = 60;
+    int dReadPorts = 1;
+    int dWritePorts = 1;
+    int missMax = 2;       //!< outstanding D-cache misses (MSHRs)
+    int storeQ = 16;
+    LatencyConfig lat;
+    mem::HierarchyConfig mem;
+
+    /// Table II, 2-way in-order column.
+    static CoreConfig twoWayInOrder();
+    /// Table II, 4-way out-of-order column.
+    static CoreConfig fourWayOoO();
+    /// Table II, 8-way out-of-order column.
+    static CoreConfig eightWayOoO();
+
+    /// The paper's three configurations in presentation order.
+    static const char *const presetNames[3];
+    static CoreConfig preset(int idx);
+};
+
+/// Functional-unit index for an instruction class.
+enum class Unit { FX, FP, LS, BR, VI, VPERM, VCMPLX, NumUnits };
+
+constexpr int numUnits = static_cast<int>(Unit::NumUnits);
+
+/// Map an instruction class to the unit that executes it.
+Unit unitFor(trace::InstrClass cls);
+
+/// Register file an instruction's destination lives in.
+enum class RegFile { GPR, FPR, VPR, None };
+
+/// Map an instruction class to its destination register file.
+RegFile destRegFile(trace::InstrClass cls);
+
+} // namespace uasim::timing
+
+#endif // UASIM_TIMING_CONFIG_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Timing-simulation results.
+ */
+
+#ifndef UASIM_TIMING_RESULTS_HH
+#define UASIM_TIMING_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uasim::timing {
+
+/// Aggregate outcome of one simulated instruction stream.
+struct SimResult {
+    std::string core;
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t storeForwards = 0;
+    std::uint64_t unalignedVecOps = 0;  //!< dynamically unaligned lvxu/stvxu
+    std::uint64_t lineCrossings = 0;
+    std::uint64_t fetchStallCycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instrs) / double(cycles) : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return branches ? double(mispredicts) / double(branches) : 0.0;
+    }
+};
+
+} // namespace uasim::timing
+
+#endif // UASIM_TIMING_RESULTS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Address normalization filter for deterministic simulation.
+ *
+ * Trace records carry host addresses; cache behaviour must not depend
+ * on where the host allocator happened to place buffers. This sink
+ * filter rebases each registered buffer onto a fixed virtual base
+ * (preserving internal layout exactly) and folds unregistered
+ * addresses (constant pool, spill slots) into a dedicated region
+ * keeping their low 20 bits, which preserves L1/L2 set indexing.
+ */
+
+#ifndef UASIM_TRACE_ADDRMAP_HH
+#define UASIM_TRACE_ADDRMAP_HH
+
+#include <vector>
+
+#include "trace/sink.hh"
+
+namespace uasim::trace {
+
+class AddrNormalizer : public TraceSink
+{
+  public:
+    explicit AddrNormalizer(TraceSink &down) : down_(&down) {}
+
+    /// Rebase [base, base+size) onto @p vbase.
+    void
+    addRegion(const void *base, std::size_t size, std::uint64_t vbase)
+    {
+        regions_.push_back({reinterpret_cast<std::uint64_t>(base),
+                            size, vbase});
+    }
+
+    /// Region of unregistered (fallback) addresses.
+    static constexpr std::uint64_t fallbackBase = 0x7f000000;
+
+    void
+    append(const InstrRecord &rec) override
+    {
+        InstrRecord out = rec;
+        if (out.isMem())
+            out.addr = translate(out.addr);
+        down_->append(out);
+    }
+
+    std::uint64_t
+    translate(std::uint64_t addr) const
+    {
+        for (const auto &r : regions_) {
+            if (addr >= r.base && addr < r.base + r.size)
+                return r.vbase + (addr - r.base);
+        }
+        return fallbackBase | (addr & 0xfffff);
+    }
+
+  private:
+    struct Region {
+        std::uint64_t base;
+        std::size_t size;
+        std::uint64_t vbase;
+    };
+
+    TraceSink *down_;
+    std::vector<Region> regions_;
+};
+
+} // namespace uasim::trace
+
+#endif // UASIM_TRACE_ADDRMAP_HH

@@ -1,0 +1,7 @@
+#include "trace/emitter.hh"
+
+// Emitter is header-only for speed; this TU exists for symmetry and
+// future out-of-line growth.
+
+namespace uasim::trace {
+} // namespace uasim::trace

@@ -1,0 +1,26 @@
+#include "trace/instr.hh"
+
+namespace uasim::trace {
+
+std::string_view
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntAlu:     return "int_alu";
+      case InstrClass::IntMul:     return "int_mul";
+      case InstrClass::Load:       return "load";
+      case InstrClass::Store:      return "store";
+      case InstrClass::Branch:     return "branch";
+      case InstrClass::FpAlu:      return "fp_alu";
+      case InstrClass::VecLoad:    return "vec_load";
+      case InstrClass::VecStore:   return "vec_store";
+      case InstrClass::VecLoadU:   return "vec_load_u";
+      case InstrClass::VecStoreU:  return "vec_store_u";
+      case InstrClass::VecSimple:  return "vec_simple";
+      case InstrClass::VecComplex: return "vec_complex";
+      case InstrClass::VecPerm:    return "vec_perm";
+      default:                     return "invalid";
+    }
+}
+
+} // namespace uasim::trace

@@ -1,0 +1,75 @@
+#include "trace/mix.hh"
+
+#include <sstream>
+
+namespace uasim::trace {
+
+InstrMix &
+InstrMix::operator+=(const InstrMix &other)
+{
+    for (int i = 0; i < numInstrClasses; ++i)
+        counts_[i] += other.counts_[i];
+    return *this;
+}
+
+std::uint64_t
+InstrMix::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts_)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+InstrMix::intOps() const
+{
+    return count(InstrClass::IntAlu) + count(InstrClass::IntMul);
+}
+
+std::uint64_t
+InstrMix::vecLoads() const
+{
+    return count(InstrClass::VecLoad) + count(InstrClass::VecLoadU);
+}
+
+std::uint64_t
+InstrMix::vecStores() const
+{
+    return count(InstrClass::VecStore) + count(InstrClass::VecStoreU);
+}
+
+std::uint64_t
+InstrMix::vecTotal() const
+{
+    return vecLoads() + vecStores() + vecSimple() + vecComplex() +
+           vecPerm();
+}
+
+std::string
+InstrMix::toCsv() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < numInstrClasses; ++i) {
+        if (i)
+            os << ',';
+        os << counts_[i];
+    }
+    return os.str();
+}
+
+std::string
+InstrMix::format() const
+{
+    std::ostringstream os;
+    os << "total=" << total();
+    for (int i = 0; i < numInstrClasses; ++i) {
+        if (!counts_[i])
+            continue;
+        os << ' ' << instrClassName(static_cast<InstrClass>(i)) << '='
+           << counts_[i];
+    }
+    return os.str();
+}
+
+} // namespace uasim::trace

@@ -1,0 +1,7 @@
+#include "trace/sink.hh"
+
+// All sink implementations are currently header-only; this translation
+// unit anchors the vtables.
+
+namespace uasim::trace {
+} // namespace uasim::trace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace sinks: consumers of the dynamic instruction stream.
+ */
+
+#ifndef UASIM_TRACE_SINK_HH
+#define UASIM_TRACE_SINK_HH
+
+#include <functional>
+#include <vector>
+
+#include "trace/instr.hh"
+#include "trace/mix.hh"
+
+namespace uasim::trace {
+
+/**
+ * Abstract consumer of instruction records.
+ *
+ * The emulation facades push every executed instruction into a sink;
+ * implementations count them, buffer them, serialize them, or stream
+ * them straight into the timing model.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /// Consume one record. Called once per dynamic instruction, in order.
+    virtual void append(const InstrRecord &rec) = 0;
+};
+
+/// Sink that discards everything (pure functional execution).
+class NullSink : public TraceSink
+{
+  public:
+    void append(const InstrRecord &) override {}
+};
+
+/// Sink that accumulates an InstrMix.
+class CountingSink : public TraceSink
+{
+  public:
+    void append(const InstrRecord &rec) override { mix_.add(rec); }
+
+    const InstrMix &mix() const { return mix_; }
+    void clear() { mix_.clear(); }
+
+  private:
+    InstrMix mix_;
+};
+
+/// Sink that stores all records in memory.
+class BufferSink : public TraceSink
+{
+  public:
+    void
+    append(const InstrRecord &rec) override
+    {
+        records_.push_back(rec);
+    }
+
+    const std::vector<InstrRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<InstrRecord> records_;
+};
+
+/// Sink that forwards each record to a callable.
+class CallbackSink : public TraceSink
+{
+  public:
+    using Fn = std::function<void(const InstrRecord &)>;
+
+    explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+    void append(const InstrRecord &rec) override { fn_(rec); }
+
+  private:
+    Fn fn_;
+};
+
+/// Sink that duplicates the stream into two downstream sinks.
+class TeeSink : public TraceSink
+{
+  public:
+    TeeSink(TraceSink &first, TraceSink &second)
+        : first_(&first), second_(&second)
+    {}
+
+    void
+    append(const InstrRecord &rec) override
+    {
+        first_->append(rec);
+        second_->append(rec);
+    }
+
+  private:
+    TraceSink *first_;
+    TraceSink *second_;
+};
+
+} // namespace uasim::trace
+
+#endif // UASIM_TRACE_SINK_HH

@@ -1,0 +1,142 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace uasim::trace {
+
+namespace {
+
+constexpr char traceMagic[8] = {'U', 'A', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t writeBufferRecords = 4096;
+
+PackedRecord
+pack(const InstrRecord &rec)
+{
+    PackedRecord p{};
+    p.id = rec.id;
+    p.pc = rec.pc;
+    p.addr = rec.addr;
+    p.deps[0] = rec.deps[0];
+    p.deps[1] = rec.deps[1];
+    p.deps[2] = rec.deps[2];
+    p.cls = static_cast<std::uint8_t>(rec.cls);
+    p.size = rec.size;
+    p.taken = rec.taken ? 1 : 0;
+    return p;
+}
+
+InstrRecord
+unpack(const PackedRecord &p)
+{
+    InstrRecord rec;
+    rec.id = p.id;
+    rec.pc = p.pc;
+    rec.addr = p.addr;
+    rec.deps = {p.deps[0], p.deps[1], p.deps[2]};
+    rec.cls = static_cast<InstrClass>(p.cls);
+    rec.size = p.size;
+    rec.taken = p.taken != 0;
+    return rec;
+}
+
+} // namespace
+
+FileSink::FileSink(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw std::runtime_error("FileSink: cannot open " + path);
+    std::uint64_t zero = 0;
+    std::fwrite(traceMagic, 1, sizeof(traceMagic), file_);
+    std::fwrite(&zero, sizeof(zero), 1, file_);
+    buffer_.reserve(writeBufferRecords);
+}
+
+FileSink::~FileSink()
+{
+    close();
+}
+
+void
+FileSink::append(const InstrRecord &rec)
+{
+    buffer_.push_back(pack(rec));
+    if (buffer_.size() >= writeBufferRecords)
+        flushBuffer();
+}
+
+void
+FileSink::flushBuffer()
+{
+    if (!buffer_.empty()) {
+        std::fwrite(buffer_.data(), sizeof(PackedRecord), buffer_.size(),
+                    file_);
+        written_ += buffer_.size();
+        buffer_.clear();
+    }
+}
+
+void
+FileSink::close()
+{
+    if (!file_)
+        return;
+    flushBuffer();
+    std::fseek(file_, sizeof(traceMagic), SEEK_SET);
+    std::fwrite(&written_, sizeof(written_), 1, file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        throw std::runtime_error("TraceReader: cannot open " + path);
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw std::runtime_error("TraceReader: bad magic in " + path);
+    }
+    if (std::fread(&count_, sizeof(count_), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw std::runtime_error("TraceReader: truncated header");
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(InstrRecord &rec)
+{
+    if (read_ >= count_)
+        return false;
+    PackedRecord p;
+    if (std::fread(&p, sizeof(p), 1, file_) != 1)
+        return false;
+    rec = unpack(p);
+    ++read_;
+    return true;
+}
+
+std::uint64_t
+TraceReader::drainTo(TraceSink &sink)
+{
+    InstrRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.append(rec);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace uasim::trace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary trace serialization (the MET-style offline flow).
+ *
+ * Format: 8-byte magic "UATRACE1", u64 record count (patched on close),
+ * then packed little-endian records.
+ */
+
+#ifndef UASIM_TRACE_TRACE_IO_HH
+#define UASIM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/instr.hh"
+#include "trace/sink.hh"
+
+namespace uasim::trace {
+
+/// On-disk record layout (fixed width, packed).
+struct PackedRecord {
+    std::uint64_t id;
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint64_t deps[3];
+    std::uint8_t cls;
+    std::uint8_t size;
+    std::uint8_t taken;
+    std::uint8_t pad[5];
+};
+
+static_assert(sizeof(PackedRecord) == 56, "packed record must be 56B");
+
+/**
+ * Sink that writes records to a binary trace file.
+ *
+ * The file is finalized (count patched) by close() or the destructor.
+ */
+class FileSink : public TraceSink
+{
+  public:
+    /// @param path destination file; truncated if it exists.
+    explicit FileSink(const std::string &path);
+    ~FileSink() override;
+
+    FileSink(const FileSink &) = delete;
+    FileSink &operator=(const FileSink &) = delete;
+
+    void append(const InstrRecord &rec) override;
+
+    /// Flush buffered records and patch the header. Idempotent.
+    void close();
+
+    std::uint64_t written() const { return written_; }
+
+  private:
+    void flushBuffer();
+
+    std::FILE *file_ = nullptr;
+    std::vector<PackedRecord> buffer_;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * Reader for trace files produced by FileSink.
+ */
+class TraceReader
+{
+  public:
+    /// @throws std::runtime_error on missing file or bad magic.
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /// Total records in the file.
+    std::uint64_t count() const { return count_; }
+
+    /// Read the next record. @return false at end of trace.
+    bool next(InstrRecord &rec);
+
+    /// Stream the remaining records into a sink. @return records read.
+    std::uint64_t drainTo(TraceSink &sink);
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace uasim::trace
+
+#endif // UASIM_TRACE_TRACE_IO_HH

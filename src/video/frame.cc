@@ -1,0 +1,46 @@
+#include "video/frame.hh"
+
+#include <cstring>
+
+namespace uasim::video {
+
+Plane::Plane(int width, int height) : width_(width), height_(height)
+{
+    stride_ = (width_ + 2 * border + 15) & ~15;
+    // One border row above and below, plus 16B so vector stores to the
+    // last pixels stay in bounds, plus 16B for base alignment.
+    std::size_t bytes =
+        std::size_t(stride_) * (height_ + 2 * border) + 32;
+    storage_.assign(bytes, 0);
+    auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
+    std::uintptr_t aligned = (raw + 15) & ~std::uintptr_t{15};
+    base_ = reinterpret_cast<std::uint8_t *>(aligned) +
+            std::ptrdiff_t{border} * stride_ + border;
+}
+
+void
+Plane::extendEdges()
+{
+    // Left/right columns.
+    for (int y = 0; y < height_; ++y) {
+        std::memset(pixel(-border, y), at(0, y), border);
+        std::memset(pixel(width_, y), at(width_ - 1, y), border);
+    }
+    // Top/bottom rows (including the extended corners).
+    for (int y = 1; y <= border; ++y) {
+        std::memcpy(pixel(-border, -y), pixel(-border, 0),
+                    std::size_t(width_) + 2 * border);
+        std::memcpy(pixel(-border, height_ - 1 + y),
+                    pixel(-border, height_ - 1),
+                    std::size_t(width_) + 2 * border);
+    }
+}
+
+void
+Plane::fill(std::uint8_t value)
+{
+    for (int y = 0; y < height_; ++y)
+        std::memset(pixel(0, y), value, width_);
+}
+
+} // namespace uasim::video

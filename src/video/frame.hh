@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Padded, alignment-safe YUV 4:2:0 frame buffers.
+ *
+ * Planes carry an edge-extension border (like FFmpeg's padded frames)
+ * so motion compensation may read outside the picture, and so the
+ * force-aligning lvx / software realignment idioms never touch
+ * unowned memory. Plane base addresses are 16B-aligned and strides are
+ * multiples of 16, which makes (pixel address % 16) depend only on the
+ * x coordinate and the motion vector - the property Fig 4 measures.
+ */
+
+#ifndef UASIM_VIDEO_FRAME_HH
+#define UASIM_VIDEO_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uasim::video {
+
+/// One padded 8-bit plane.
+class Plane
+{
+  public:
+    /// Border pixels on every side (>= MC overreach + vector guard).
+    static constexpr int border = 32;
+
+    Plane(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int stride() const { return stride_; }
+
+    /// Pointer to pixel (x, y); negative / beyond-edge coordinates
+    /// reach into the border.
+    std::uint8_t *
+    pixel(int x, int y)
+    {
+        return base_ + std::ptrdiff_t{y} * stride_ + x;
+    }
+    const std::uint8_t *
+    pixel(int x, int y) const
+    {
+        return base_ + std::ptrdiff_t{y} * stride_ + x;
+    }
+
+    std::uint8_t &
+    at(int x, int y)
+    {
+        return *pixel(x, y);
+    }
+    std::uint8_t at(int x, int y) const { return *pixel(x, y); }
+
+    /// Replicate edge pixels into the border (call after writing).
+    void extendEdges();
+
+    /// Fill the payload with a constant.
+    void fill(std::uint8_t value);
+
+    /// @name Full padded extent (for trace address registration)
+    /// @{
+    const std::uint8_t *
+    paddedBase() const
+    {
+        return pixel(-border, -border);
+    }
+    std::size_t
+    paddedSize() const
+    {
+        return std::size_t(stride_) * (height_ + 2 * border);
+    }
+    /// @}
+
+  private:
+    int width_;
+    int height_;
+    int stride_;
+    std::vector<std::uint8_t> storage_;
+    std::uint8_t *base_;
+};
+
+/// A YUV 4:2:0 frame: full-res luma, half-res chroma.
+class Frame
+{
+  public:
+    Frame(int width, int height)
+        : width_(width), height_(height), y_(width, height),
+          cb_(width / 2, height / 2), cr_(width / 2, height / 2)
+    {
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    Plane &luma() { return y_; }
+    const Plane &luma() const { return y_; }
+    Plane &cb() { return cb_; }
+    const Plane &cb() const { return cb_; }
+    Plane &cr() { return cr_; }
+    const Plane &cr() const { return cr_; }
+
+    void
+    extendEdges()
+    {
+        y_.extendEdges();
+        cb_.extendEdges();
+        cr_.extendEdges();
+    }
+
+  private:
+    int width_;
+    int height_;
+    Plane y_;
+    Plane cb_;
+    Plane cr_;
+};
+
+} // namespace uasim::video
+
+#endif // UASIM_VIDEO_FRAME_HH

@@ -1,0 +1,117 @@
+#include "video/motion.hh"
+
+namespace uasim::video {
+
+void
+MotionModel::emitPartition(std::vector<Partition> &out, Rng &rng, int x,
+                           int y, int size, int base_mvx,
+                           int base_mvy) const
+{
+    Partition p;
+    p.x = static_cast<std::int16_t>(x);
+    p.y = static_cast<std::int16_t>(y);
+    p.w = p.h = static_cast<std::uint8_t>(size);
+    p.inter = true;
+    // Small per-partition refinement around the MB-level vector keeps
+    // sub-partition motion coherent, like a real encoder's search.
+    int jitter = size < 16 ? 2 : 0;
+    p.mvxQ = static_cast<std::int16_t>(
+        base_mvx + (jitter ? rng.range(-jitter, jitter) : 0));
+    p.mvyQ = static_cast<std::int16_t>(
+        base_mvy + (jitter ? rng.range(-jitter, jitter) : 0));
+    out.push_back(p);
+}
+
+std::vector<Partition>
+MotionModel::framePartitions(int frame_idx) const
+{
+    std::vector<Partition> out;
+    const int mbw = (params_.width + 15) / 16;
+    const int mbh = (params_.height + 15) / 16;
+    out.reserve(std::size_t(mbw) * mbh);
+
+    Rng rng(params_.seed * 0x9e3779b97f4a7c15ull +
+            std::uint64_t(frame_idx) * 0x2545f4914f6cdd1dull + 1);
+
+    for (int my = 0; my < mbh; ++my) {
+        for (int mx = 0; mx < mbw; ++mx) {
+            int x = mx * 16, y = my * 16;
+            if (!rng.chance(params_.interRatio)) {
+                Partition p;
+                p.x = static_cast<std::int16_t>(x);
+                p.y = static_cast<std::int16_t>(y);
+                p.w = p.h = 16;
+                p.inter = false;
+                out.push_back(p);
+                continue;
+            }
+            // MB-level motion vector.
+            int mvx, mvy;
+            if (rng.chance(params_.zeroMvRatio)) {
+                mvx = mvy = 0;
+            } else {
+                mvx = static_cast<int>(params_.panXQpel) +
+                      static_cast<int>(
+                          rng.twoSidedGeometric(params_.mvScaleQpel));
+                mvy = static_cast<int>(params_.panYQpel) +
+                      static_cast<int>(
+                          rng.twoSidedGeometric(params_.mvScaleQpel / 2));
+            }
+            double u = rng.uniform();
+            if (u < params_.p16) {
+                emitPartition(out, rng, x, y, 16, mvx, mvy);
+            } else if (u < params_.p16 + params_.p8) {
+                for (int sy = 0; sy < 2; ++sy)
+                    for (int sx = 0; sx < 2; ++sx)
+                        emitPartition(out, rng, x + 8 * sx, y + 8 * sy,
+                                      8, mvx, mvy);
+            } else {
+                for (int sy = 0; sy < 4; ++sy)
+                    for (int sx = 0; sx < 4; ++sx)
+                        emitPartition(out, rng, x + 4 * sx, y + 4 * sy,
+                                      4, mvx, mvy);
+            }
+        }
+    }
+    return out;
+}
+
+McAlignmentStats
+collectMcAlignment(const SequenceParams &params, int frames)
+{
+    McAlignmentStats stats;
+    MotionModel model(params);
+
+    // Real plane geometry, synthetic base address 0 (16B aligned).
+    Plane luma_geom(params.width, params.height);
+    Plane chroma_geom(params.width / 2, params.height / 2);
+    const std::int64_t ls = luma_geom.stride();
+    const std::int64_t cs = chroma_geom.stride();
+
+    for (int f = 0; f < frames; ++f) {
+        for (const auto &p : model.framePartitions(f)) {
+            if (!p.inter)
+                continue;
+            // Luma interpolation runs for fractional vectors.
+            if (p.fracX() || p.fracY()) {
+                std::int64_t src = p.intY() * ls + p.intX();
+                stats.lumaLoad.add(static_cast<std::uint64_t>(src));
+                stats.lumaStore.add(
+                    static_cast<std::uint64_t>(p.y * ls + p.x));
+            }
+            // Chroma: half resolution, eighth-pel fractions.
+            int cfx = p.mvxQ & 7, cfy = p.mvyQ & 7;
+            if (cfx || cfy) {
+                int cx = p.x / 2, cy = p.y / 2;
+                std::int64_t src =
+                    (cy + (p.mvyQ >> 3)) * cs + (cx + (p.mvxQ >> 3));
+                stats.chromaLoad.add(static_cast<std::uint64_t>(src));
+                stats.chromaStore.add(
+                    static_cast<std::uint64_t>(cy * cs + cx));
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace uasim::video

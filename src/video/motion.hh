@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Motion-compensation workload model: per-macroblock partitioning and
+ * quarter-pel motion vectors with content-dependent statistics.
+ *
+ * This is what drives the paper's Fig 4: block load addresses are
+ * base + (y + mv_int_y) * stride + (x + mv_int_x), so the distribution
+ * of (address % 16) is fully determined by partition geometry and the
+ * MV statistics. Store addresses ignore the MV, so their offsets are
+ * the partition x positions only - predictable, exactly as the paper
+ * observes.
+ */
+
+#ifndef UASIM_VIDEO_MOTION_HH
+#define UASIM_VIDEO_MOTION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "video/sequence.hh"
+
+namespace uasim::video {
+
+/// One motion-compensated partition (luma coordinates).
+struct Partition {
+    std::int16_t x = 0;      //!< luma x within the frame
+    std::int16_t y = 0;
+    std::uint8_t w = 16;     //!< 16, 8 or 4
+    std::uint8_t h = 16;
+    std::int16_t mvxQ = 0;   //!< quarter-pel motion vector
+    std::int16_t mvyQ = 0;
+    bool inter = false;      //!< intra partitions do no MC
+
+    int fracX() const { return mvxQ & 3; }
+    int fracY() const { return mvyQ & 3; }
+    int intX() const { return x + (mvxQ >> 2); }
+    int intY() const { return y + (mvyQ >> 2); }
+};
+
+/**
+ * Deterministic partition/MV generator for a sequence profile.
+ */
+class MotionModel
+{
+  public:
+    explicit MotionModel(const SequenceParams &params)
+        : params_(params)
+    {
+    }
+
+    /// All partitions of one frame, raster MB order.
+    std::vector<Partition> framePartitions(int frame_idx) const;
+
+    const SequenceParams &params() const { return params_; }
+
+  private:
+    void
+    emitPartition(std::vector<Partition> &out, Rng &rng, int x, int y,
+                  int size, int base_mvx, int base_mvy) const;
+
+    SequenceParams params_;
+};
+
+/// Histogram of (address % 16), the paper's Fig 4 y-axis.
+struct AlignmentHistogram {
+    std::array<std::uint64_t, 16> counts{};
+    std::uint64_t total = 0;
+
+    void
+    add(std::uint64_t addr)
+    {
+        ++counts[addr & 15];
+        ++total;
+    }
+
+    double
+    percent(int offset) const
+    {
+        return total ? 100.0 * double(counts[offset & 15]) / double(total)
+                     : 0.0;
+    }
+};
+
+/// The four Fig 4 panels for one sequence.
+struct McAlignmentStats {
+    AlignmentHistogram lumaLoad;    //!< Fig 4(a)
+    AlignmentHistogram chromaLoad;  //!< Fig 4(b)
+    AlignmentHistogram lumaStore;   //!< Fig 4(c)
+    AlignmentHistogram chromaStore; //!< Fig 4(d)
+};
+
+/**
+ * Walk @p frames frames of MC partitions and collect the Fig 4
+ * histograms. Uses real plane strides (16B-multiple) with a base-0
+ * frame address, which is exactly the residue arithmetic of a real
+ * aligned frame allocation.
+ */
+McAlignmentStats collectMcAlignment(const SequenceParams &params,
+                                    int frames);
+
+} // namespace uasim::video
+
+#endif // UASIM_VIDEO_MOTION_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic PRNG with explicit distributions.
+ *
+ * std::random distributions are implementation-defined; experiments
+ * must be bit-reproducible across toolchains, so we own the mapping
+ * from bits to variates.
+ */
+
+#ifndef UASIM_VIDEO_RNG_HH
+#define UASIM_VIDEO_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace uasim::video {
+
+/// splitmix64: tiny, fast, well-distributed, fully deterministic.
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b9)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, n).
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return n ? next() % n : 0;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Two-sided geometric variate with scale @p s (mean magnitude ~ s):
+     * a fat-ish symmetric integer distribution for motion components.
+     */
+    std::int64_t
+    twoSidedGeometric(double s)
+    {
+        if (s <= 0.0)
+            return 0;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        double mag = -s * std::log(u);
+        std::int64_t m = static_cast<std::int64_t>(mag);
+        return chance(0.5) ? m : -m;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/// Stateless 2D hash to [0,255] (texture noise).
+inline std::uint8_t
+hashNoise(std::uint64_t seed, int x, int y)
+{
+    std::uint64_t h = seed;
+    h ^= static_cast<std::uint64_t>(x) * 0x8da6b343u;
+    h ^= static_cast<std::uint64_t>(y) * 0xd8163841u;
+    h = (h ^ (h >> 13)) * 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<std::uint8_t>(h & 0xff);
+}
+
+} // namespace uasim::video
+
+#endif // UASIM_VIDEO_RNG_HH

@@ -1,0 +1,147 @@
+#include "video/sequence.hh"
+
+#include <cmath>
+
+namespace uasim::video {
+
+std::string_view
+contentName(Content c)
+{
+    switch (c) {
+      case Content::RushHour:   return "rush_hour";
+      case Content::BlueSky:    return "blue_sky";
+      case Content::Pedestrian: return "pedestrian";
+      case Content::Riverbed:   return "riverbed";
+      default:                  return "invalid";
+    }
+}
+
+std::string
+SequenceParams::label() const
+{
+    for (const auto &r : resolutions) {
+        if (r.width == width && r.height == height) {
+            return std::string(r.label) + "_" +
+                   std::string(contentName(content));
+        }
+    }
+    return std::to_string(height) + "_" +
+           std::string(contentName(content));
+}
+
+SequenceParams
+makeParams(Content c, const Resolution &res)
+{
+    SequenceParams p;
+    p.content = c;
+    p.width = res.width;
+    p.height = res.height;
+    // Per-content statistics chosen to mimic the paper's description:
+    // rush_hour = slow traffic (many zero vectors), blue_sky = smooth
+    // pan (coherent non-zero motion), pedestrian = medium local
+    // motion, riverbed = chaotic fluids where inter prediction fails.
+    switch (c) {
+      case Content::RushHour:
+        p.interRatio = 0.90;
+        p.zeroMvRatio = 0.55;
+        p.mvScaleQpel = 4.0;
+        p.p16 = 0.72;
+        p.p8 = 0.22;
+        p.residualEnergy = 5.0;
+        break;
+      case Content::BlueSky:
+        p.interRatio = 0.92;
+        p.zeroMvRatio = 0.15;
+        p.mvScaleQpel = 5.0;
+        p.panXQpel = 9.0;
+        p.panYQpel = 2.0;
+        p.p16 = 0.78;
+        p.p8 = 0.17;
+        p.residualEnergy = 4.0;
+        break;
+      case Content::Pedestrian:
+        p.interRatio = 0.84;
+        p.zeroMvRatio = 0.30;
+        p.mvScaleQpel = 10.0;
+        p.p16 = 0.60;
+        p.p8 = 0.28;
+        p.residualEnergy = 8.0;
+        break;
+      case Content::Riverbed:
+        p.interRatio = 0.35;
+        p.zeroMvRatio = 0.08;
+        p.mvScaleQpel = 14.0;
+        p.p16 = 0.38;
+        p.p8 = 0.36;
+        p.residualEnergy = 16.0;
+        break;
+    }
+    // Scale motion with resolution (same content, more pixels).
+    double scale = res.width / 720.0;
+    p.mvScaleQpel *= scale;
+    p.panXQpel *= scale;
+    p.panYQpel *= scale;
+    p.seed = static_cast<std::uint64_t>(c) * 1000003ull +
+             static_cast<std::uint64_t>(res.width);
+    return p;
+}
+
+std::vector<SequenceParams>
+allSequenceParams()
+{
+    std::vector<SequenceParams> all;
+    for (const auto &res : resolutions) {
+        for (int c = 0; c < numContents; ++c)
+            all.push_back(makeParams(static_cast<Content>(c), res));
+    }
+    return all;
+}
+
+SyntheticSequence::SyntheticSequence(const SequenceParams &params)
+    : params_(params)
+{
+}
+
+std::uint8_t
+SyntheticSequence::lumaSample(int frameIdx, int x, int y) const
+{
+    // Structure: two moving gradients plus hash noise, shifted by the
+    // global pan so inter prediction has something real to track.
+    int px = x - static_cast<int>(frameIdx * params_.panXQpel / 4.0);
+    int py = y - static_cast<int>(frameIdx * params_.panYQpel / 4.0);
+    double s =
+        96.0 + 48.0 * std::sin(px * 0.031) * std::cos(py * 0.017) +
+        32.0 * std::sin((px + py) * 0.011);
+    int noise_amp =
+        params_.content == Content::Riverbed ? 48 : 12;
+    int noise_seed = params_.content == Content::Riverbed
+        ? frameIdx  // fluids decorrelate frame to frame
+        : 0;
+    int n = hashNoise(params_.seed + noise_seed, px, py) % 256;
+    int v = static_cast<int>(s) + (n - 128) * noise_amp / 128;
+    return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+void
+SyntheticSequence::render(int index, Frame &frame) const
+{
+    Plane &yp = frame.luma();
+    for (int y = 0; y < yp.height(); ++y) {
+        for (int x = 0; x < yp.width(); ++x)
+            yp.at(x, y) = lumaSample(index, x, y);
+    }
+    Plane &cb = frame.cb();
+    Plane &cr = frame.cr();
+    for (int y = 0; y < cb.height(); ++y) {
+        for (int x = 0; x < cb.width(); ++x) {
+            std::uint8_t l = yp.at(2 * x, 2 * y);
+            cb.at(x, y) = static_cast<std::uint8_t>(128 + (l - 128) / 4);
+            cr.at(x, y) = static_cast<std::uint8_t>(
+                128 - (l - 128) / 8 +
+                (hashNoise(params_.seed ^ 0x5a5a, x, y) & 7));
+        }
+    }
+    frame.extendEdges();
+}
+
+} // namespace uasim::video

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synthetic video sequences standing in for the paper's test content.
+ *
+ * The paper uses four HD sequences (rush_hour, blue_sky, pedestrian,
+ * riverbed) at 720x576, 1280x720 and 1920x1088. We reproduce their
+ * *statistics* - the knobs that matter for alignment behaviour and for
+ * how much work each decoder stage does:
+ *   - inter-coded macroblock ratio (riverbed's fluid motion defeats
+ *     motion estimation, so most of its blocks are intra);
+ *   - motion magnitude and coherence (rush_hour is slow traffic,
+ *     blue_sky a smooth pan, pedestrian has medium local motion);
+ *   - partition-size mix (chaotic content splits into smaller blocks);
+ *   - residual energy (drives coded-coefficient counts, hence CABAC
+ *     and IDCT work).
+ */
+
+#ifndef UASIM_VIDEO_SEQUENCE_HH
+#define UASIM_VIDEO_SEQUENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "video/frame.hh"
+#include "video/rng.hh"
+
+namespace uasim::video {
+
+/// The four content classes named by the paper.
+enum class Content { RushHour, BlueSky, Pedestrian, Riverbed };
+
+constexpr int numContents = 4;
+
+/// Content name as the paper spells it.
+std::string_view contentName(Content c);
+
+/// The paper's three picture sizes.
+struct Resolution {
+    int width;
+    int height;
+    std::string_view label;  //!< "576", "720", "1088"
+};
+
+constexpr Resolution resolutions[3] = {
+    {720, 576, "576"},
+    {1280, 720, "720"},
+    {1920, 1088, "1088"},
+};
+
+/// Statistical profile of a sequence.
+struct SequenceParams {
+    Content content = Content::RushHour;
+    int width = 720;
+    int height = 576;
+    double interRatio = 0.8;    //!< fraction of inter-coded MBs
+    double zeroMvRatio = 0.3;   //!< inter MBs with a (0,0) vector
+    double mvScaleQpel = 6.0;   //!< two-sided-geometric scale, 1/4-pel
+    double panXQpel = 0.0;      //!< global pan per frame, 1/4-pel
+    double panYQpel = 0.0;
+    double p16 = 0.6;           //!< 16x16 partition probability
+    double p8 = 0.3;            //!< 8x8 (else 4x4)
+    double residualEnergy = 8.0;//!< mean abs residual amplitude
+    std::uint64_t seed = 1;
+
+    /// Sequence id string, e.g. "576_rush_hour" (Fig 4 legend).
+    std::string label() const;
+};
+
+/// The paper's 4 contents x 3 resolutions = 12 input profiles.
+SequenceParams makeParams(Content c, const Resolution &res);
+
+/// All 12 profiles in Fig 4 legend order.
+std::vector<SequenceParams> allSequenceParams();
+
+/**
+ * Procedural texture video: value noise plus moving structure so
+ * frames are non-trivial and temporally coherent.
+ */
+class SyntheticSequence
+{
+  public:
+    explicit SyntheticSequence(const SequenceParams &params);
+
+    const SequenceParams &params() const { return params_; }
+
+    /// Render frame @p index into @p frame (sized per params).
+    void render(int index, Frame &frame) const;
+
+  private:
+    std::uint8_t lumaSample(int frameIdx, int x, int y) const;
+
+    SequenceParams params_;
+};
+
+} // namespace uasim::video
+
+#endif // UASIM_VIDEO_SEQUENCE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Guard-banded, alignment-controlled byte buffers.
+ *
+ * Aligned vector loads force the effective address down to a 16-byte
+ * boundary (exactly like Altivec lvx), and the software realignment idiom
+ * reads up to 15 bytes past the last referenced element. All memory given
+ * to traced kernels must therefore carry guard bands; AlignedBuffer
+ * provides that, plus precise control of the base address's alignment
+ * offset so experiments can place data at any (addr % 16).
+ */
+
+#ifndef UASIM_VMX_BUFFER_HH
+#define UASIM_VMX_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uasim::vmx {
+
+/**
+ * A byte buffer with 64-byte guard bands and a controllable base offset.
+ */
+class AlignedBuffer
+{
+  public:
+    static constexpr std::size_t guardBytes = 64;
+
+    /**
+     * @param size usable payload bytes.
+     * @param offset desired (base address % 16) of the payload, 0..15.
+     */
+    explicit AlignedBuffer(std::size_t size, unsigned offset = 0)
+        : storage_(size + 2 * guardBytes + 16, 0), size_(size)
+    {
+        auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
+        std::uintptr_t aligned = (raw + guardBytes + 15) & ~std::uintptr_t{15};
+        base_ = reinterpret_cast<std::uint8_t *>(aligned) + (offset & 15);
+    }
+
+    /// Payload base pointer (alignment offset as requested).
+    std::uint8_t *data() { return base_; }
+    const std::uint8_t *data() const { return base_; }
+
+    std::size_t size() const { return size_; }
+
+    std::uint8_t &operator[](std::size_t i) { return base_[i]; }
+    std::uint8_t operator[](std::size_t i) const { return base_[i]; }
+
+    /// Fill the payload (not the guards) with a byte value.
+    void
+    fill(std::uint8_t value)
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            base_[i] = value;
+    }
+
+  private:
+    std::vector<std::uint8_t> storage_;
+    std::size_t size_;
+    std::uint8_t *base_;
+};
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_BUFFER_HH

@@ -1,0 +1,24 @@
+#include "vmx/constpool.hh"
+
+namespace uasim::vmx {
+
+VecConstPool &
+VecConstPool::instance()
+{
+    static VecConstPool pool;
+    return pool;
+}
+
+const std::uint8_t *
+VecConstPool::intern(const std::uint8_t *bytes)
+{
+    for (const auto &slot : slots_) {
+        if (std::memcmp(slot.b, bytes, 16) == 0)
+            return slot.b;
+    }
+    slots_.emplace_back();
+    std::memcpy(slots_.back().b, bytes, 16);
+    return slots_.back().b;
+}
+
+} // namespace uasim::vmx

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Constant pool for vector literals.
+ *
+ * Real compilers materialize vector constants as aligned loads from
+ * .rodata; loadConst() reproduces that: the value is interned into an
+ * aligned pool and fetched with a single lvx, so constant setup costs
+ * exactly what it costs on hardware (one aligned vector load, typically
+ * hoisted out of loops by the kernel writer).
+ */
+
+#ifndef UASIM_VMX_CONSTPOOL_HH
+#define UASIM_VMX_CONSTPOOL_HH
+
+#include <cstring>
+#include <deque>
+
+#include "vmx/vecops.hh"
+
+namespace uasim::vmx {
+
+/**
+ * Process-wide interning pool of 16B-aligned vector constants.
+ */
+class VecConstPool
+{
+  public:
+    static VecConstPool &instance();
+
+    /// Intern @p bytes and return the aligned address holding them.
+    const std::uint8_t *intern(const std::uint8_t *bytes);
+
+  private:
+    struct Slot {
+        alignas(16) std::uint8_t b[16];
+    };
+
+    std::deque<Slot> slots_;
+};
+
+/// Load a vector literal: one aligned vector load from the pool.
+inline Vec
+loadConst(VecOps &vo, const Vec &value,
+          std::source_location loc = std::source_location::current())
+{
+    const std::uint8_t *addr =
+        VecConstPool::instance().intern(value.b.data());
+    return vo.lvx(CPtr{addr}, 0, loc);
+}
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_CONSTPOOL_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The software realignment idioms from the paper, as reusable helpers.
+ *
+ * These emit exactly the instruction sequences of the paper's Figure 2
+ * (loads) and Figure 5 (stores); kernels that call them are accounted as
+ * if the sequences were written inline.
+ */
+
+#ifndef UASIM_VMX_REALIGN_HH
+#define UASIM_VMX_REALIGN_HH
+
+#include "vmx/constpool.hh"
+#include "vmx/vecops.hh"
+
+namespace uasim::vmx {
+
+/**
+ * Software-realigned unaligned load (paper Fig 2(a)).
+ *
+ * lvsl + lvx + lvx(+15) + vperm = 4 instructions.
+ */
+inline Vec
+swLoadU(VecOps &vo, CPtr p, std::int64_t off = 0,
+        std::source_location loc = std::source_location::current())
+{
+    Vec mask = vo.lvsl(p, off, loc);
+    Vec lo = vo.lvx(p, off, loc);
+    Vec hi = vo.lvx(p, off + 15, loc);
+    return vo.vperm(lo, hi, mask, loc);
+}
+
+/**
+ * Streaming software realignment for stride-one access (paper Fig 2(b)
+ * and Fig 3): the mask and the first aligned word are hoisted; each
+ * next() costs one aligned load and one permute.
+ */
+class SwStreamLoader
+{
+  public:
+    /// Hoisted prologue: lvsl + first lvx (2 instructions).
+    SwStreamLoader(VecOps &vo, CPtr p,
+                   std::source_location loc =
+                       std::source_location::current())
+        : vo_(&vo), p_(p), off_(0)
+    {
+        mask_ = vo_->lvsl(p_, 0, loc);
+        prev_ = vo_->lvx(p_, 0, loc);
+    }
+
+    /// Next 16 unaligned bytes: lvx + vperm (2 instructions).
+    Vec
+    next(std::source_location loc = std::source_location::current())
+    {
+        Vec cur = vo_->lvx(p_, off_ + 16, loc);
+        Vec out = vo_->vperm(prev_, cur, mask_, loc);
+        prev_ = cur;
+        off_ += 16;
+        return out;
+    }
+
+  private:
+    VecOps *vo_;
+    CPtr p_;
+    std::int64_t off_;
+    Vec mask_;
+    Vec prev_;
+};
+
+/**
+ * Hoisted operands for the software store sequences (paper Fig 5):
+ * the all-zero and all-ones vectors (2 VecSimple instructions).
+ */
+struct SwStoreCtx {
+    Vec vzero;  //!< all-zero vector
+    Vec vones;  //!< all-ones vector
+};
+
+/// Build the hoisted store prologue.
+inline SwStoreCtx
+swStoreUPrologue(VecOps &vo,
+                 std::source_location loc =
+                     std::source_location::current())
+{
+    SwStoreCtx ctx;
+    ctx.vzero = vo.zero(loc);
+    ctx.vones = vo.nor(ctx.vzero, ctx.vzero, loc);
+    return ctx;
+}
+
+/**
+ * Software unaligned 16B store, exactly the paper's Fig 5 body:
+ * 2 lvx + lvsr + 2 vperm + 2 vsel + 2 stvx = 9 instructions.
+ *
+ * Not atomic: a racing reader can observe the intermediate state, which
+ * is one of the paper's arguments for hardware stvxu.
+ */
+inline void
+swStoreU(VecOps &vo, const SwStoreCtx &ctx, Vec data, Ptr p,
+         std::int64_t off = 0,
+         std::source_location loc = std::source_location::current())
+{
+    Vec dst1 = vo.lvx(CPtr{p}, off, loc);
+    Vec dst2 = vo.lvx(CPtr{p}, off + 16, loc);
+    Vec dstperm = vo.lvsr(CPtr{p}, off, loc);
+    Vec dstmask = vo.vperm(ctx.vzero, ctx.vones, dstperm, loc);
+    Vec rdata = vo.vperm(data, data, dstperm, loc);
+    Vec fdst1 = vo.sel(dst1, rdata, dstmask, loc);
+    Vec fdst2 = vo.sel(rdata, dst2, dstmask, loc);
+    vo.stvx(fdst1, p, off, loc);
+    vo.stvx(fdst2, p, off + 16, loc);
+}
+
+/**
+ * Materialize the "first @p width bytes" byte mask as a vector literal
+ * (one aligned load from the constant pool, hoisted by callers).
+ */
+inline Vec
+makeWidthMask(VecOps &vo, int width,
+              std::source_location loc = std::source_location::current())
+{
+    Vec m;
+    for (int i = 0; i < 16; ++i)
+        m.b[i] = i < width ? 0xff : 0x00;
+    return loadConst(vo, m, loc);
+}
+
+/**
+ * Software partial store: first w bytes of @p data to an arbitrarily
+ * aligned address (paper section II-B: variable block sizes force
+ * partial stores of 4 or 8 bytes). Fig 5 sequence plus width masking:
+ * 12 instructions per store ("more than 10" in the paper's words).
+ *
+ * Correctness: with o = addr & 15, the rotated width mask covers window
+ * positions [o, o+w); AND with the lvsr-derived boundary mask splits it
+ * into the word-1 and word-2 parts, wrapping across the boundary when
+ * o + w > 16.
+ */
+inline void
+swStorePartial(VecOps &vo, const SwStoreCtx &ctx, Vec widthMask, Vec data,
+               Ptr p, std::int64_t off = 0,
+               std::source_location loc = std::source_location::current())
+{
+    Vec dst1 = vo.lvx(CPtr{p}, off, loc);
+    Vec dst2 = vo.lvx(CPtr{p}, off + 16, loc);
+    Vec dstperm = vo.lvsr(CPtr{p}, off, loc);
+    Vec dstmask = vo.vperm(ctx.vzero, ctx.vones, dstperm, loc);
+    Vec rwidth = vo.vperm(widthMask, widthMask, dstperm, loc);
+    Vec mask1 = vo.and_(rwidth, dstmask, loc);
+    Vec mask2 = vo.andc(rwidth, dstmask, loc);
+    Vec rdata = vo.vperm(data, data, dstperm, loc);
+    Vec fdst1 = vo.sel(dst1, rdata, mask1, loc);
+    Vec fdst2 = vo.sel(dst2, rdata, mask2, loc);
+    vo.stvx(fdst1, p, off, loc);
+    vo.stvx(fdst2, p, off + 16, loc);
+}
+
+/**
+ * Hardware partial store using the paper's stvxu: read-modify-write of
+ * one unaligned word. lvxu + vsel + stvxu = 3 instructions (width mask
+ * hoisted).
+ */
+inline void
+hwStorePartial(VecOps &vo, Vec widthMask, Vec data, Ptr p,
+               std::int64_t off = 0,
+               std::source_location loc = std::source_location::current())
+{
+    Vec dst = vo.lvxu(CPtr{p}, off, loc);
+    Vec merged = vo.sel(dst, data, widthMask, loc);
+    vo.stvxu(merged, p, off, loc);
+}
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_REALIGN_HH

@@ -1,0 +1,301 @@
+#include "vmx/scalarops.hh"
+
+#include <cstring>
+
+namespace uasim::vmx {
+
+using trace::InstrClass;
+
+SInt
+ScalarOps::li(std::int64_t v, SL loc)
+{
+    return {v, em_->emit(InstrClass::IntAlu, loc)};
+}
+
+Ptr
+ScalarOps::lip(std::uint8_t *p, SL loc)
+{
+    return {p, em_->emit(InstrClass::IntAlu, loc)};
+}
+
+CPtr
+ScalarOps::lip(const std::uint8_t *p, SL loc)
+{
+    return {p, em_->emit(InstrClass::IntAlu, loc)};
+}
+
+SInt
+ScalarOps::add(SInt a, SInt b, SL loc)
+{
+    return {a.v + b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::addi(SInt a, std::int64_t imm, SL loc)
+{
+    return {a.v + imm, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::sub(SInt a, SInt b, SL loc)
+{
+    return {a.v - b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::subfi(std::int64_t imm, SInt a, SL loc)
+{
+    return {imm - a.v, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::neg(SInt a, SL loc)
+{
+    return {-a.v, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::slli(SInt a, unsigned sh, SL loc)
+{
+    return {a.v << sh, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::srli(SInt a, unsigned sh, SL loc)
+{
+    auto u = static_cast<std::uint64_t>(a.v) >> sh;
+    return {static_cast<std::int64_t>(u),
+            em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::srai(SInt a, unsigned sh, SL loc)
+{
+    return {a.v >> sh, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::sllv(SInt a, SInt b, SL loc)
+{
+    return {static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a.v) << (b.v & 63)),
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::srlv(SInt a, SInt b, SL loc)
+{
+    return {static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a.v) >> (b.v & 63)),
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::andi(SInt a, std::uint64_t imm, SL loc)
+{
+    return {static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a.v) & imm),
+            em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::and_(SInt a, SInt b, SL loc)
+{
+    return {a.v & b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::or_(SInt a, SInt b, SL loc)
+{
+    return {a.v | b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::xor_(SInt a, SInt b, SL loc)
+{
+    return {a.v ^ b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::cmplt(SInt a, SInt b, SL loc)
+{
+    return {a.v < b.v ? 1 : 0,
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::cmplti(SInt a, std::int64_t imm, SL loc)
+{
+    return {a.v < imm ? 1 : 0, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::cmpgti(SInt a, std::int64_t imm, SL loc)
+{
+    return {a.v > imm ? 1 : 0, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+}
+
+SInt
+ScalarOps::cmpeq(SInt a, SInt b, SL loc)
+{
+    return {a.v == b.v ? 1 : 0,
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::isel(SInt cond, SInt a, SInt b, SL loc)
+{
+    return {cond.v ? a.v : b.v,
+            em_->emit(InstrClass::IntAlu, loc, cond.dep, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::mul(SInt a, SInt b, SL loc)
+{
+    return {a.v * b.v, em_->emit(InstrClass::IntMul, loc, a.dep, b.dep)};
+}
+
+SInt
+ScalarOps::muli(SInt a, std::int64_t imm, SL loc)
+{
+    return {a.v * imm, em_->emit(InstrClass::IntMul, loc, a.dep)};
+}
+
+Ptr
+ScalarOps::padd(Ptr p, SInt idx, SL loc)
+{
+    return {p.p + idx.v,
+            em_->emit(InstrClass::IntAlu, loc, p.dep, idx.dep)};
+}
+
+CPtr
+ScalarOps::padd(CPtr p, SInt idx, SL loc)
+{
+    return {p.p + idx.v,
+            em_->emit(InstrClass::IntAlu, loc, p.dep, idx.dep)};
+}
+
+Ptr
+ScalarOps::paddi(Ptr p, std::int64_t imm, SL loc)
+{
+    return {p.p + imm, em_->emit(InstrClass::IntAlu, loc, p.dep)};
+}
+
+CPtr
+ScalarOps::paddi(CPtr p, std::int64_t imm, SL loc)
+{
+    return {p.p + imm, em_->emit(InstrClass::IntAlu, loc, p.dep)};
+}
+
+namespace {
+
+inline std::uint64_t
+ea(const std::uint8_t *p, std::int64_t off)
+{
+    return reinterpret_cast<std::uint64_t>(p) +
+           static_cast<std::uint64_t>(off);
+}
+
+} // namespace
+
+SInt
+ScalarOps::loadU8(CPtr p, std::int64_t off, SL loc)
+{
+    return {p.p[off],
+            em_->emitMem(InstrClass::Load, ea(p.p, off), 1, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadS16(CPtr p, std::int64_t off, SL loc)
+{
+    std::int16_t x;
+    std::memcpy(&x, p.p + off, 2);
+    return {x, em_->emitMem(InstrClass::Load, ea(p.p, off), 2, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadU16(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint16_t x;
+    std::memcpy(&x, p.p + off, 2);
+    return {x, em_->emitMem(InstrClass::Load, ea(p.p, off), 2, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadS32(CPtr p, std::int64_t off, SL loc)
+{
+    std::int32_t x;
+    std::memcpy(&x, p.p + off, 4);
+    return {x, em_->emitMem(InstrClass::Load, ea(p.p, off), 4, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadU32(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint32_t x;
+    std::memcpy(&x, p.p + off, 4);
+    return {x, em_->emitMem(InstrClass::Load, ea(p.p, off), 4, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadS64(CPtr p, std::int64_t off, SL loc)
+{
+    std::int64_t x;
+    std::memcpy(&x, p.p + off, 8);
+    return {x, em_->emitMem(InstrClass::Load, ea(p.p, off), 8, loc, p.dep)};
+}
+
+SInt
+ScalarOps::loadU8x(CPtr p, SInt idx, SL loc)
+{
+    return {p.p[idx.v],
+            em_->emitMem(InstrClass::Load, ea(p.p, idx.v), 1, loc,
+                         p.dep, idx.dep)};
+}
+
+void
+ScalarOps::storeU8(Ptr p, std::int64_t off, SInt v, SL loc)
+{
+    p.p[off] = static_cast<std::uint8_t>(v.v);
+    em_->emitMem(InstrClass::Store, ea(p.p, off), 1, loc, p.dep, v.dep);
+}
+
+void
+ScalarOps::storeU16(Ptr p, std::int64_t off, SInt v, SL loc)
+{
+    auto x = static_cast<std::uint16_t>(v.v);
+    std::memcpy(p.p + off, &x, 2);
+    em_->emitMem(InstrClass::Store, ea(p.p, off), 2, loc, p.dep, v.dep);
+}
+
+void
+ScalarOps::storeU32(Ptr p, std::int64_t off, SInt v, SL loc)
+{
+    auto x = static_cast<std::uint32_t>(v.v);
+    std::memcpy(p.p + off, &x, 4);
+    em_->emitMem(InstrClass::Store, ea(p.p, off), 4, loc, p.dep, v.dep);
+}
+
+void
+ScalarOps::storeU64(Ptr p, std::int64_t off, SInt v, SL loc)
+{
+    auto x = static_cast<std::uint64_t>(v.v);
+    std::memcpy(p.p + off, &x, 8);
+    em_->emitMem(InstrClass::Store, ea(p.p, off), 8, loc, p.dep, v.dep);
+}
+
+bool
+ScalarOps::branch(SInt cond, SL loc)
+{
+    bool taken = cond.v != 0;
+    em_->emitBranch(taken, loc, cond.dep);
+    return taken;
+}
+
+void
+ScalarOps::loopBranch(bool taken, SL loc)
+{
+    em_->emitBranch(taken, loc);
+}
+
+} // namespace uasim::vmx

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ScalarOps: the traced scalar (PowerPC integer-unit style) facade.
+ *
+ * Kernels written against this facade execute functionally on the host
+ * while emitting one InstrRecord per architectural instruction a
+ * PowerPC-class compiler would have produced. Design choices that affect
+ * accounting:
+ *  - loads/stores with a constant displacement are single instructions
+ *    (D-form addressing), no separate address add is emitted;
+ *  - pointer increments (p += stride) are one IntAlu;
+ *  - loopBranch() models a CTR-style decrement-and-branch (one Branch
+ *    record, no register dependence), the common compiled loop idiom;
+ *  - immediates materialize via li() (one IntAlu) and should be hoisted
+ *    out of loops by the kernel writer exactly as a compiler would.
+ */
+
+#ifndef UASIM_VMX_SCALAROPS_HH
+#define UASIM_VMX_SCALAROPS_HH
+
+#include <cstdint>
+#include <source_location>
+
+#include "trace/emitter.hh"
+#include "vmx/value.hh"
+
+namespace uasim::vmx {
+
+class ScalarOps
+{
+  public:
+    using SL = std::source_location;
+
+    explicit ScalarOps(trace::Emitter &em) : em_(&em) {}
+
+    trace::Emitter &emitter() const { return *em_; }
+
+    /// @name Register materialization
+    /// @{
+    SInt li(std::int64_t v, SL loc = SL::current());
+    Ptr lip(std::uint8_t *p, SL loc = SL::current());
+    CPtr lip(const std::uint8_t *p, SL loc = SL::current());
+    /// @}
+
+    /// @name Integer ALU (one IntAlu each)
+    /// @{
+    SInt add(SInt a, SInt b, SL loc = SL::current());
+    SInt addi(SInt a, std::int64_t imm, SL loc = SL::current());
+    SInt sub(SInt a, SInt b, SL loc = SL::current());
+    SInt subfi(std::int64_t imm, SInt a, SL loc = SL::current());
+    SInt neg(SInt a, SL loc = SL::current());
+    SInt slli(SInt a, unsigned sh, SL loc = SL::current());
+    SInt srli(SInt a, unsigned sh, SL loc = SL::current());
+    SInt srai(SInt a, unsigned sh, SL loc = SL::current());
+    /// register-count shifts (slw/srw)
+    SInt sllv(SInt a, SInt b, SL loc = SL::current());
+    SInt srlv(SInt a, SInt b, SL loc = SL::current());
+    SInt andi(SInt a, std::uint64_t imm, SL loc = SL::current());
+    SInt and_(SInt a, SInt b, SL loc = SL::current());
+    SInt or_(SInt a, SInt b, SL loc = SL::current());
+    SInt xor_(SInt a, SInt b, SL loc = SL::current());
+    /// compare producing 0/1
+    SInt cmplt(SInt a, SInt b, SL loc = SL::current());
+    SInt cmplti(SInt a, std::int64_t imm, SL loc = SL::current());
+    SInt cmpgti(SInt a, std::int64_t imm, SL loc = SL::current());
+    SInt cmpeq(SInt a, SInt b, SL loc = SL::current());
+    /// conditional select (isel-style, one IntAlu)
+    SInt isel(SInt cond, SInt a, SInt b, SL loc = SL::current());
+    /// @}
+
+    /// @name Integer multiply (IntMul)
+    /// @{
+    SInt mul(SInt a, SInt b, SL loc = SL::current());
+    SInt muli(SInt a, std::int64_t imm, SL loc = SL::current());
+    /// @}
+
+    /// @name Pointer arithmetic (IntAlu)
+    /// @{
+    Ptr padd(Ptr p, SInt idx, SL loc = SL::current());
+    CPtr padd(CPtr p, SInt idx, SL loc = SL::current());
+    Ptr paddi(Ptr p, std::int64_t imm, SL loc = SL::current());
+    CPtr paddi(CPtr p, std::int64_t imm, SL loc = SL::current());
+    /// @}
+
+    /// @name Loads (one Load each; constant displacement is free)
+    /// @{
+    SInt loadU8(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    SInt loadS16(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    SInt loadU16(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    SInt loadS32(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    SInt loadU32(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    SInt loadS64(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// indexed-form load (register offset folds into the load)
+    SInt loadU8x(CPtr p, SInt idx, SL loc = SL::current());
+    /// @}
+
+    /// @name Stores (one Store each)
+    /// @{
+    void storeU8(Ptr p, std::int64_t off, SInt v, SL loc = SL::current());
+    void storeU16(Ptr p, std::int64_t off, SInt v, SL loc = SL::current());
+    void storeU32(Ptr p, std::int64_t off, SInt v, SL loc = SL::current());
+    void storeU64(Ptr p, std::int64_t off, SInt v, SL loc = SL::current());
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    /**
+     * Conditional branch on a register value.
+     * @return the direction (cond.v != 0) so kernels can steer host
+     * control flow with the same decision.
+     */
+    bool branch(SInt cond, SL loc = SL::current());
+    /// CTR-style loop-closing branch: no register dependence.
+    void loopBranch(bool taken, SL loc = SL::current());
+    /// @}
+
+  private:
+    trace::Emitter *em_;
+};
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_SCALAROPS_HH

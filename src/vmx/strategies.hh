@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Executable version of the paper's Table I: per-ISA idioms for loading
+ * and storing one unaligned 128-bit word.
+ *
+ * Each strategy emits the instruction sequence that ISA needs, against
+ * the same VecOps facade, so instruction counts and (via the timing
+ * model) latencies can be compared head to head.
+ */
+
+#ifndef UASIM_VMX_STRATEGIES_HH
+#define UASIM_VMX_STRATEGIES_HH
+
+#include <string_view>
+
+#include "vmx/realign.hh"
+#include "vmx/vecops.hh"
+
+namespace uasim::vmx {
+
+/// Unaligned-access strategies from Table I of the paper.
+enum class RealignStrategy {
+    HwUnaligned,    //!< this paper: lvxu / stvxu, 1 instruction
+    AltivecSw,      //!< PowerPC Altivec: lvsl + 2x lvx + vperm
+    CellLvlxLvrx,   //!< Cell PPE: lvlx + lvrx + vor
+    SseMovdquUcode, //!< SSE2 movdqu as microcoded 2x64b load + merge
+    SseLddqu,       //!< SSE3 lddqu: wide load + extract shift
+    MipsAlnv,       //!< MIPS MDMX: 2 loads + alnv
+    TiLdnw,         //!< TI C64x ldnw/ldndw: paired unaligned halves
+    NumStrategies
+};
+
+/// Human-readable strategy name (Table I row label).
+std::string_view strategyName(RealignStrategy s);
+
+/// ISA / extension the strategy comes from (Table I column).
+std::string_view strategyIsa(RealignStrategy s);
+
+/// Architectural instructions one unaligned load costs (steady state).
+int strategyLoadInstrs(RealignStrategy s);
+
+/// Architectural instructions one unaligned 16B store costs
+/// (steady state; 0 means the ISA has no unaligned-store idiom and
+/// must fall back to the Altivec Fig 5 sequence).
+int strategyStoreInstrs(RealignStrategy s);
+
+/**
+ * Emit one unaligned 16B load using @p s; functional result always
+ * equals the 16 bytes at p+off.
+ */
+Vec strategyLoadU(VecOps &vo, RealignStrategy s, CPtr p,
+                  std::int64_t off = 0);
+
+/**
+ * Emit one unaligned 16B store using @p s (falls back to the software
+ * Fig 5 sequence where the ISA has no unaligned store).
+ */
+void strategyStoreU(VecOps &vo, RealignStrategy s, const SwStoreCtx &ctx,
+                    Vec data, Ptr p, std::int64_t off = 0);
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_STRATEGIES_HH

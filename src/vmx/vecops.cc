@@ -1,0 +1,645 @@
+#include "vmx/vecops.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace uasim::vmx {
+
+using trace::InstrClass;
+
+namespace {
+
+inline std::uint64_t
+ea(const std::uint8_t *p, std::int64_t off)
+{
+    return reinterpret_cast<std::uint64_t>(p) +
+           static_cast<std::uint64_t>(off);
+}
+
+inline std::uint8_t
+satU8(int x)
+{
+    return static_cast<std::uint8_t>(std::clamp(x, 0, 255));
+}
+
+inline std::int8_t
+satS8(int x)
+{
+    return static_cast<std::int8_t>(std::clamp(x, -128, 127));
+}
+
+inline std::int16_t
+satS16(int x)
+{
+    return static_cast<std::int16_t>(std::clamp(x, -32768, 32767));
+}
+
+inline std::int32_t
+satS32(std::int64_t x)
+{
+    return static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(x, INT32_MIN, INT32_MAX));
+}
+
+} // namespace
+
+Vec
+VecOps::lvx(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off) & ~std::uint64_t{15};
+    Vec v;
+    std::memcpy(v.b.data(), reinterpret_cast<const void *>(addr), 16);
+    v.dep = em_->emitMem(InstrClass::VecLoad, addr, 16, loc, p.dep);
+    return v;
+}
+
+Vec
+VecOps::lvxu(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off);
+    Vec v;
+    std::memcpy(v.b.data(), reinterpret_cast<const void *>(addr), 16);
+    v.dep = em_->emitMem(InstrClass::VecLoadU, addr, 16, loc, p.dep);
+    return v;
+}
+
+void
+VecOps::stvx(Vec v, Ptr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off) & ~std::uint64_t{15};
+    std::memcpy(reinterpret_cast<void *>(addr), v.b.data(), 16);
+    em_->emitMem(InstrClass::VecStore, addr, 16, loc, p.dep, v.dep);
+}
+
+void
+VecOps::stvxu(Vec v, Ptr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off);
+    std::memcpy(reinterpret_cast<void *>(addr), v.b.data(), 16);
+    em_->emitMem(InstrClass::VecStoreU, addr, 16, loc, p.dep, v.dep);
+}
+
+Vec
+VecOps::lvlx(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off);
+    unsigned o = addr & 15;
+    Vec v;
+    std::memcpy(v.b.data(), reinterpret_cast<const void *>(addr), 16 - o);
+    v.dep = em_->emitMem(InstrClass::VecLoad, addr & ~std::uint64_t{15},
+                         16, loc, p.dep);
+    return v;
+}
+
+Vec
+VecOps::lvrx(CPtr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off);
+    unsigned o = addr & 15;
+    Vec v;
+    if (o) {
+        std::memcpy(v.b.data() + (16 - o),
+                    reinterpret_cast<const void *>(addr - o), o);
+    }
+    v.dep = em_->emitMem(InstrClass::VecLoad, addr & ~std::uint64_t{15},
+                         16, loc, p.dep);
+    return v;
+}
+
+void
+VecOps::stvewx(Vec v, Ptr p, std::int64_t off, SL loc)
+{
+    std::uint64_t addr = ea(p.p, off) & ~std::uint64_t{3};
+    unsigned elem = (addr >> 2) & 3;
+    std::uint32_t word = v.u32(elem);
+    std::memcpy(reinterpret_cast<void *>(addr), &word, 4);
+    em_->emitMem(InstrClass::VecStore, addr, 4, loc, p.dep, v.dep);
+}
+
+Vec
+VecOps::lvsl(CPtr p, std::int64_t off, SL loc)
+{
+    unsigned o = ea(p.p, off) & 15;
+    Vec v;
+    for (int i = 0; i < 16; ++i)
+        v.b[i] = static_cast<std::uint8_t>(o + i);
+    v.dep = em_->emit(InstrClass::VecPerm, loc, p.dep);
+    return v;
+}
+
+Vec
+VecOps::lvsr(CPtr p, std::int64_t off, SL loc)
+{
+    unsigned o = ea(p.p, off) & 15;
+    Vec v;
+    for (int i = 0; i < 16; ++i)
+        v.b[i] = static_cast<std::uint8_t>(16 - o + i);
+    v.dep = em_->emit(InstrClass::VecPerm, loc, p.dep);
+    return v;
+}
+
+Vec
+VecOps::vperm(Vec a, Vec b, Vec c, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 16; ++i) {
+        unsigned sel = c.b[i] & 0x1f;
+        v.b[i] = sel < 16 ? a.b[sel] : b.b[sel - 16];
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep, c.dep);
+    return v;
+}
+
+Vec
+VecOps::sld(Vec a, Vec b, unsigned sh, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 16; ++i) {
+        unsigned j = i + sh;
+        v.b[i] = j < 16 ? a.b[j] : b.b[j - 16];
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergeh8(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        v.b[2 * i] = a.b[i];
+        v.b[2 * i + 1] = b.b[i];
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergel8(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        v.b[2 * i] = a.b[8 + i];
+        v.b[2 * i + 1] = b.b[8 + i];
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergeh16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        v.setU16(2 * i, a.u16(i));
+        v.setU16(2 * i + 1, b.u16(i));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergel16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        v.setU16(2 * i, a.u16(4 + i));
+        v.setU16(2 * i + 1, b.u16(4 + i));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergeh32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    v.setU32(0, a.u32(0));
+    v.setU32(1, b.u32(0));
+    v.setU32(2, a.u32(1));
+    v.setU32(3, b.u32(1));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mergel32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    v.setU32(0, a.u32(2));
+    v.setU32(1, b.u32(2));
+    v.setU32(2, a.u32(3));
+    v.setU32(3, b.u32(3));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::packum16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        v.b[i] = static_cast<std::uint8_t>(a.u16(i));
+        v.b[8 + i] = static_cast<std::uint8_t>(b.u16(i));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::packsu16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        v.b[i] = satU8(a.s16(i));
+        v.b[8 + i] = satU8(b.s16(i));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::packs16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        v.b[i] = static_cast<std::uint8_t>(satS8(a.s16(i)));
+        v.b[8 + i] = static_cast<std::uint8_t>(satS8(b.s16(i)));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::packs32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        v.setS16(i, satS16(static_cast<int>(
+            std::clamp<std::int64_t>(a.s32(i), -32768, 32767))));
+        v.setS16(4 + i, satS16(static_cast<int>(
+            std::clamp<std::int64_t>(b.s32(i), -32768, 32767))));
+    }
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::unpackh8(Vec a, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setS16(i, a.s8(i));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::unpackl8(Vec a, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setS16(i, a.s8(8 + i));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::unpackh16(Vec a, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setS32(i, a.s16(i));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::unpackl16(Vec a, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setS32(i, a.s16(4 + i));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::splat8(Vec a, unsigned idx, SL loc)
+{
+    Vec v;
+    v.b.fill(a.b[idx & 15]);
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::splat16(Vec a, unsigned idx, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, a.u16(idx & 7));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::splat32(Vec a, unsigned idx, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setU32(i, a.u32(idx & 3));
+    v.dep = em_->emit(InstrClass::VecPerm, loc, a.dep);
+    return v;
+}
+
+Vec
+VecOps::zero(SL loc)
+{
+    Vec v;
+    v.dep = em_->emit(InstrClass::VecSimple, loc);
+    return v;
+}
+
+Vec
+VecOps::splatis8(int imm, SL loc)
+{
+    Vec v;
+    v.b.fill(static_cast<std::uint8_t>(imm));
+    v.dep = em_->emit(InstrClass::VecSimple, loc);
+    return v;
+}
+
+Vec
+VecOps::splatis16(int imm, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setS16(i, static_cast<std::int16_t>(imm));
+    v.dep = em_->emit(InstrClass::VecSimple, loc);
+    return v;
+}
+
+Vec
+VecOps::splatis32(int imm, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setS32(i, imm);
+    v.dep = em_->emit(InstrClass::VecSimple, loc);
+    return v;
+}
+
+#define UASIM_LANE_OP_U8(name, expr)                                     \
+    Vec                                                                  \
+    VecOps::name(Vec a, Vec b, SL loc)                                   \
+    {                                                                    \
+        Vec v;                                                           \
+        for (int i = 0; i < 16; ++i) {                                   \
+            int x = a.b[i], y = b.b[i];                                  \
+            (void)y;                                                     \
+            v.b[i] = static_cast<std::uint8_t>(expr);                    \
+        }                                                                \
+        v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);     \
+        return v;                                                        \
+    }
+
+UASIM_LANE_OP_U8(addu8, x + y)
+UASIM_LANE_OP_U8(addsu8, std::min(x + y, 255))
+UASIM_LANE_OP_U8(subu8, x - y)
+UASIM_LANE_OP_U8(subsu8, std::max(x - y, 0))
+UASIM_LANE_OP_U8(avgu8, (x + y + 1) >> 1)
+UASIM_LANE_OP_U8(minu8, std::min(x, y))
+UASIM_LANE_OP_U8(maxu8, std::max(x, y))
+UASIM_LANE_OP_U8(cmpgtu8, x > y ? 0xff : 0)
+UASIM_LANE_OP_U8(cmpeq8, x == y ? 0xff : 0)
+
+#undef UASIM_LANE_OP_U8
+
+#define UASIM_LANE_OP_16(name, expr)                                     \
+    Vec                                                                  \
+    VecOps::name(Vec a, Vec b, SL loc)                                   \
+    {                                                                    \
+        Vec v;                                                           \
+        for (int i = 0; i < 8; ++i) {                                    \
+            int x = a.s16(i), y = b.s16(i);                              \
+            (void)y;                                                     \
+            v.setS16(i, static_cast<std::int16_t>(expr));                \
+        }                                                                \
+        v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);     \
+        return v;                                                        \
+    }
+
+UASIM_LANE_OP_16(add16, x + y)
+UASIM_LANE_OP_16(adds16, satS16(x + y))
+UASIM_LANE_OP_16(sub16, x - y)
+UASIM_LANE_OP_16(subs16, satS16(x - y))
+UASIM_LANE_OP_16(mins16, std::min(x, y))
+UASIM_LANE_OP_16(maxs16, std::max(x, y))
+UASIM_LANE_OP_16(cmpgts16, x > y ? -1 : 0)
+
+#undef UASIM_LANE_OP_16
+
+Vec
+VecOps::add32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setU32(i, a.u32(i) + b.u32(i));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sub32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setU32(i, a.u32(i) - b.u32(i));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+#define UASIM_BIT_OP(name, expr)                                         \
+    Vec                                                                  \
+    VecOps::name(Vec a, Vec b, SL loc)                                   \
+    {                                                                    \
+        Vec v;                                                           \
+        for (int i = 0; i < 16; ++i) {                                   \
+            std::uint8_t x = a.b[i], y = b.b[i];                         \
+            v.b[i] = static_cast<std::uint8_t>(expr);                    \
+        }                                                                \
+        v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);     \
+        return v;                                                        \
+    }
+
+UASIM_BIT_OP(and_, x & y)
+UASIM_BIT_OP(andc, x & ~y)
+UASIM_BIT_OP(or_, x | y)
+UASIM_BIT_OP(xor_, x ^ y)
+UASIM_BIT_OP(nor, ~(x | y))
+
+#undef UASIM_BIT_OP
+
+Vec
+VecOps::sel(Vec a, Vec b, Vec m, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 16; ++i)
+        v.b[i] = static_cast<std::uint8_t>(
+            (a.b[i] & ~m.b[i]) | (b.b[i] & m.b[i]));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep, m.dep);
+    return v;
+}
+
+Vec
+VecOps::sl16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, static_cast<std::uint16_t>(
+            a.u16(i) << (b.u16(i) & 15)));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sr16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, static_cast<std::uint16_t>(
+            a.u16(i) >> (b.u16(i) & 15)));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sra16(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setS16(i, static_cast<std::int16_t>(
+            a.s16(i) >> (b.u16(i) & 15)));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sl32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setU32(i, a.u32(i) << (b.u32(i) & 31));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sra32(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i)
+        v.setS32(i, a.s32(i) >> (b.u32(i) & 31));
+    v.dep = em_->emit(InstrClass::VecSimple, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mladd16(Vec a, Vec b, Vec c, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, static_cast<std::uint16_t>(
+            a.u16(i) * b.u16(i) + c.u16(i)));
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep, c.dep);
+    return v;
+}
+
+Vec
+VecOps::mradds16(Vec a, Vec b, Vec c, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i) {
+        int prod = (a.s16(i) * b.s16(i) + 0x4000) >> 15;
+        v.setS16(i, satS16(prod + c.s16(i)));
+    }
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep, c.dep);
+    return v;
+}
+
+Vec
+VecOps::msumu8(Vec a, Vec b, Vec c, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        std::uint32_t acc = c.u32(i);
+        for (int j = 0; j < 4; ++j)
+            acc += std::uint32_t{a.b[4 * i + j]} * b.b[4 * i + j];
+        v.setU32(i, acc);
+    }
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep, c.dep);
+    return v;
+}
+
+Vec
+VecOps::msums16(Vec a, Vec b, Vec c, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        std::int64_t acc = c.s32(i);
+        acc += std::int32_t{a.s16(2 * i)} * b.s16(2 * i);
+        acc += std::int32_t{a.s16(2 * i + 1)} * b.s16(2 * i + 1);
+        v.setS32(i, static_cast<std::int32_t>(acc));
+    }
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep, c.dep);
+    return v;
+}
+
+Vec
+VecOps::sum4su8(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 4; ++i) {
+        std::int64_t acc = b.s32(i);
+        for (int j = 0; j < 4; ++j)
+            acc += a.b[4 * i + j];
+        v.setS32(i, satS32(acc));
+    }
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::sums32(Vec a, Vec b, SL loc)
+{
+    std::int64_t acc = b.s32(3);
+    for (int i = 0; i < 4; ++i)
+        acc += a.s32(i);
+    Vec v;
+    v.setS32(3, satS32(acc));
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::muleu8(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, std::uint16_t(a.b[2 * i]) * b.b[2 * i]);
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep);
+    return v;
+}
+
+Vec
+VecOps::mulou8(Vec a, Vec b, SL loc)
+{
+    Vec v;
+    for (int i = 0; i < 8; ++i)
+        v.setU16(i, std::uint16_t(a.b[2 * i + 1]) * b.b[2 * i + 1]);
+    v.dep = em_->emit(InstrClass::VecComplex, loc, a.dep, b.dep);
+    return v;
+}
+
+} // namespace uasim::vmx

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * VecOps: the traced Altivec/VMX facade, extended with the paper's
+ * unaligned memory instructions.
+ *
+ * Each method executes one Altivec instruction functionally on the host
+ * and emits one InstrRecord of the matching class:
+ *  - lvx/stvx force the effective address down to 16B, exactly like
+ *    hardware Altivec; software realignment (lvsl + vperm, Fig 2 of the
+ *    paper) is written in kernel code on top of these;
+ *  - lvxu/stvxu are the paper's proposed LVXU/STVXU: single-instruction
+ *    unaligned accesses, traced with their own classes so the timing
+ *    model can charge the realignment-network latency;
+ *  - lvsl/lvsr are accounted in the permute class, the only accounting
+ *    consistent with the paper's Table III (see DESIGN.md);
+ *  - lvlx/lvrx implement the Cell PPE partial-load pair, used by the
+ *    Table I strategy comparison.
+ *
+ * Lane semantics are memory order (element 0 at the lowest address,
+ * host-endian within an element); see vmx/value.hh.
+ */
+
+#ifndef UASIM_VMX_VECOPS_HH
+#define UASIM_VMX_VECOPS_HH
+
+#include <cstdint>
+#include <source_location>
+
+#include "trace/emitter.hh"
+#include "vmx/value.hh"
+
+namespace uasim::vmx {
+
+class VecOps
+{
+  public:
+    using SL = std::source_location;
+
+    explicit VecOps(trace::Emitter &em) : em_(&em) {}
+
+    trace::Emitter &emitter() const { return *em_; }
+
+    /// @name Memory access
+    /// @{
+    /// Aligned load: EA = (p + off) & ~15 (lvx).
+    Vec lvx(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// Unaligned load: EA = p + off (the paper's lvxu).
+    Vec lvxu(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// Aligned store: EA = (p + off) & ~15 (stvx).
+    void stvx(Vec v, Ptr p, std::int64_t off = 0, SL loc = SL::current());
+    /// Unaligned store: EA = p + off (the paper's stvxu).
+    void stvxu(Vec v, Ptr p, std::int64_t off = 0, SL loc = SL::current());
+    /// Cell PPE lvlx: bytes from EA to the end of its 16B block, rest 0.
+    Vec lvlx(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// Cell PPE lvrx: bytes before EA in its 16B block, placed at the
+    /// tail of the register, rest 0 (returns zero vector if EA aligned).
+    Vec lvrx(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /**
+     * stvewx: store the word element addressed by EA & ~3 - the element
+     * at index ((EA >> 2) & 3). Requires data pre-rotated into that
+     * word slot (the standard 4B-aligned partial-store idiom).
+     */
+    void stvewx(Vec v, Ptr p, std::int64_t off = 0,
+                SL loc = SL::current());
+    /// @}
+
+    /// @name Realignment-token generation (permute class)
+    /// @{
+    /// lvsl: mask {o, o+1, ..., o+15} with o = EA & 15.
+    Vec lvsl(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// lvsr: mask {16-o, ..., 31-o}.
+    Vec lvsr(CPtr p, std::int64_t off = 0, SL loc = SL::current());
+    /// @}
+
+    /// @name Permute class
+    /// @{
+    Vec vperm(Vec a, Vec b, Vec c, SL loc = SL::current());
+    /// vsldoi: concatenate a|b, take 16 bytes starting at byte sh.
+    Vec sld(Vec a, Vec b, unsigned sh, SL loc = SL::current());
+    Vec mergeh8(Vec a, Vec b, SL loc = SL::current());
+    Vec mergel8(Vec a, Vec b, SL loc = SL::current());
+    Vec mergeh16(Vec a, Vec b, SL loc = SL::current());
+    Vec mergel16(Vec a, Vec b, SL loc = SL::current());
+    Vec mergeh32(Vec a, Vec b, SL loc = SL::current());
+    Vec mergel32(Vec a, Vec b, SL loc = SL::current());
+    /// vpkuhum: modulo-pack u16 lanes of a,b into 16 u8.
+    Vec packum16(Vec a, Vec b, SL loc = SL::current());
+    /// vpkshus: saturate s16 lanes to u8 (the pixel-clip pack).
+    Vec packsu16(Vec a, Vec b, SL loc = SL::current());
+    /// vpkshss: saturate s16 lanes to s8.
+    Vec packs16(Vec a, Vec b, SL loc = SL::current());
+    /// vpkswss: saturate s32 lanes to s16.
+    Vec packs32(Vec a, Vec b, SL loc = SL::current());
+    /// vupkhsb: sign-extend s8 elements 0..7 to s16.
+    Vec unpackh8(Vec a, SL loc = SL::current());
+    /// vupklsb: sign-extend s8 elements 8..15 to s16.
+    Vec unpackl8(Vec a, SL loc = SL::current());
+    /// vupkhsh: sign-extend s16 elements 0..3 to s32.
+    Vec unpackh16(Vec a, SL loc = SL::current());
+    /// vupklsh: sign-extend s16 elements 4..7 to s32.
+    Vec unpackl16(Vec a, SL loc = SL::current());
+    Vec splat8(Vec a, unsigned idx, SL loc = SL::current());
+    Vec splat16(Vec a, unsigned idx, SL loc = SL::current());
+    Vec splat32(Vec a, unsigned idx, SL loc = SL::current());
+    /// @}
+
+    /// @name Simple VX class
+    /// @{
+    /// vxor v,v,v idiom.
+    Vec zero(SL loc = SL::current());
+    /// vspltisb: splat 5-bit signed immediate into u8 lanes.
+    Vec splatis8(int imm, SL loc = SL::current());
+    /// vspltish: splat into s16 lanes.
+    Vec splatis16(int imm, SL loc = SL::current());
+    /// vspltisw: splat into s32 lanes.
+    Vec splatis32(int imm, SL loc = SL::current());
+    Vec addu8(Vec a, Vec b, SL loc = SL::current());   //!< vaddubm
+    Vec addsu8(Vec a, Vec b, SL loc = SL::current());  //!< vaddubs
+    Vec add16(Vec a, Vec b, SL loc = SL::current());   //!< vadduhm
+    Vec adds16(Vec a, Vec b, SL loc = SL::current());  //!< vaddshs
+    Vec add32(Vec a, Vec b, SL loc = SL::current());   //!< vadduwm
+    Vec subu8(Vec a, Vec b, SL loc = SL::current());   //!< vsububm
+    Vec subsu8(Vec a, Vec b, SL loc = SL::current());  //!< vsububs
+    Vec sub16(Vec a, Vec b, SL loc = SL::current());   //!< vsubuhm
+    Vec subs16(Vec a, Vec b, SL loc = SL::current());  //!< vsubshs
+    Vec sub32(Vec a, Vec b, SL loc = SL::current());   //!< vsubuwm
+    Vec avgu8(Vec a, Vec b, SL loc = SL::current());   //!< vavgub
+    Vec minu8(Vec a, Vec b, SL loc = SL::current());
+    Vec maxu8(Vec a, Vec b, SL loc = SL::current());
+    Vec mins16(Vec a, Vec b, SL loc = SL::current());
+    Vec maxs16(Vec a, Vec b, SL loc = SL::current());
+    Vec and_(Vec a, Vec b, SL loc = SL::current());
+    Vec andc(Vec a, Vec b, SL loc = SL::current());    //!< a & ~b
+    Vec or_(Vec a, Vec b, SL loc = SL::current());
+    Vec xor_(Vec a, Vec b, SL loc = SL::current());
+    Vec nor(Vec a, Vec b, SL loc = SL::current());
+    /// vsel: bitwise (a & ~m) | (b & m).
+    Vec sel(Vec a, Vec b, Vec m, SL loc = SL::current());
+    Vec cmpgtu8(Vec a, Vec b, SL loc = SL::current());
+    Vec cmpgts16(Vec a, Vec b, SL loc = SL::current());
+    Vec cmpeq8(Vec a, Vec b, SL loc = SL::current());
+    /// per-element shifts; shift amounts from low bits of b's lanes
+    Vec sl16(Vec a, Vec b, SL loc = SL::current());    //!< vslh
+    Vec sr16(Vec a, Vec b, SL loc = SL::current());    //!< vsrh
+    Vec sra16(Vec a, Vec b, SL loc = SL::current());   //!< vsrah
+    Vec sl32(Vec a, Vec b, SL loc = SL::current());    //!< vslw
+    Vec sra32(Vec a, Vec b, SL loc = SL::current());   //!< vsraw
+    /// @}
+
+    /// @name Complex VX class (multiply / sum-across)
+    /// @{
+    /// vmladduhm: (a*b + c) mod 2^16, u16/s16 lanes.
+    Vec mladd16(Vec a, Vec b, Vec c, SL loc = SL::current());
+    /// vmhraddshs: ((a*b + 0x4000) >> 15) + c, saturated s16.
+    Vec mradds16(Vec a, Vec b, Vec c, SL loc = SL::current());
+    /// vmsumubm: per word, sum of 4 u8(a)*u8(b) products + u32 c lane.
+    Vec msumu8(Vec a, Vec b, Vec c, SL loc = SL::current());
+    /// vmsumshm: per word, sum of 2 s16*s16 products + s32 c lane.
+    Vec msums16(Vec a, Vec b, Vec c, SL loc = SL::current());
+    /// vsum4ubs: per word, sum of its 4 u8 lanes of a + s32 b lane.
+    Vec sum4su8(Vec a, Vec b, SL loc = SL::current());
+    /// vsumsws: total of a's s32 lanes + b lane 3, into lane 3.
+    Vec sums32(Vec a, Vec b, SL loc = SL::current());
+    /// vmuleub/vmuloub: even/odd u8 lanes of a,b multiplied into u16.
+    Vec muleu8(Vec a, Vec b, SL loc = SL::current());
+    Vec mulou8(Vec a, Vec b, SL loc = SL::current());
+    /// @}
+
+  private:
+    trace::Emitter *em_;
+};
+
+} // namespace uasim::vmx
+
+#endif // UASIM_VMX_VECOPS_HH

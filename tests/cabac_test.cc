@@ -1,0 +1,172 @@
+/**
+ * @file
+ * CABAC substrate tests: encode/decode roundtrips, adaptation,
+ * compression behaviour, and the traced decoder's equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decoder/cabac_traced.hh"
+#include "h264/cabac.hh"
+#include "trace/emitter.hh"
+#include "trace/sink.hh"
+#include "video/rng.hh"
+
+using namespace uasim;
+using h264::CabacContext;
+using h264::CabacDecoder;
+using h264::CabacEncoder;
+
+TEST(CabacTables, WellFormed)
+{
+    const auto &t = h264::CabacTables::get();
+    for (int s = 0; s < 64; ++s) {
+        for (int q = 0; q < 4; ++q) {
+            EXPECT_GE(t.lpsRange[s][q], 2);
+            EXPECT_LT(t.lpsRange[s][q], 256);
+            if (q)
+                EXPECT_GE(t.lpsRange[s][q], t.lpsRange[s][q - 1]);
+        }
+        if (s) {
+            // Higher state = more skewed = smaller LPS range.
+            EXPECT_LE(t.lpsRange[s][0], t.lpsRange[s - 1][0]);
+        }
+        EXPECT_LE(t.transMps[s], 62);
+        EXPECT_LE(t.transLps[s], 63);
+        EXPECT_GE(t.transMps[s], s == 62 || s == 63 ? 62 : s);
+        EXPECT_LE(t.transLps[s], std::uint8_t(s));
+    }
+}
+
+TEST(Cabac, RoundTripSingleContext)
+{
+    CabacEncoder enc;
+    CabacContext ectx;
+    video::Rng rng(1);
+    std::vector<int> bins;
+    for (int i = 0; i < 5000; ++i) {
+        int b = rng.chance(0.2) ? 1 : 0;
+        bins.push_back(b);
+        enc.encodeBin(ectx, b);
+    }
+    auto bits = enc.finish();
+
+    CabacDecoder dec(bits.data(), bits.size());
+    CabacContext dctx;
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        ASSERT_EQ(dec.decodeBin(dctx), bins[i]) << "bin " << i;
+}
+
+TEST(Cabac, RoundTripManyContextsAndBypass)
+{
+    CabacEncoder enc;
+    CabacContext ectx[16];
+    video::Rng rng(2);
+    std::vector<std::pair<int, int>> ops;  // (ctx or -1 bypass, bin)
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.chance(0.25)) {
+            int b = int(rng.below(2));
+            ops.emplace_back(-1, b);
+            enc.encodeBypass(b);
+        } else {
+            int c = int(rng.below(16));
+            int b = rng.chance(0.1 + 0.05 * c) ? 1 : 0;
+            ops.emplace_back(c, b);
+            enc.encodeBin(ectx[c], b);
+        }
+    }
+    auto bits = enc.finish();
+
+    CabacDecoder dec(bits.data(), bits.size());
+    CabacContext dctx[16];
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        auto [c, b] = ops[i];
+        int got = c < 0 ? dec.decodeBypass() : dec.decodeBin(dctx[c]);
+        ASSERT_EQ(got, b) << "op " << i;
+    }
+    EXPECT_EQ(dec.binsDecoded(), enc.binsEncoded());
+}
+
+TEST(Cabac, RoundTripUEG)
+{
+    CabacEncoder enc;
+    CabacContext ectx[6];
+    std::vector<unsigned> values;
+    video::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        unsigned v = unsigned(rng.below(3))
+            ? unsigned(rng.below(8))
+            : unsigned(rng.below(5000));
+        values.push_back(v);
+        enc.encodeUEG(ectx, 6, v);
+    }
+    // Boundary values.
+    for (unsigned v : {0u, 1u, 5u, 6u, 7u, 63u, 64u, 1u << 16}) {
+        values.push_back(v);
+        enc.encodeUEG(ectx, 6, v);
+    }
+    auto bits = enc.finish();
+
+    CabacDecoder dec(bits.data(), bits.size());
+    CabacContext dctx[6];
+    for (std::size_t i = 0; i < values.size(); ++i)
+        ASSERT_EQ(dec.decodeUEG(dctx, 6), values[i]) << "value " << i;
+}
+
+TEST(Cabac, SkewedSourceCompresses)
+{
+    // 5% ones: an adaptive coder must get well under 1 bit/bin.
+    CabacEncoder enc;
+    CabacContext ctx;
+    video::Rng rng(4);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        enc.encodeBin(ctx, rng.chance(0.05) ? 1 : 0);
+    auto bits = enc.finish();
+    double bits_per_bin = 8.0 * double(bits.size()) / n;
+    EXPECT_LT(bits_per_bin, 0.55);
+    EXPECT_GT(bits_per_bin, 0.15);  // entropy of 5% source ~ 0.29
+}
+
+TEST(Cabac, RandomBypassDoesNotCompress)
+{
+    CabacEncoder enc;
+    video::Rng rng(5);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        enc.encodeBypass(int(rng.below(2)));
+    auto bits = enc.finish();
+    double bits_per_bin = 8.0 * double(bits.size()) / n;
+    EXPECT_NEAR(bits_per_bin, 1.0, 0.05);
+}
+
+TEST(TracedCabac, MatchesNativeDecoder)
+{
+    CabacEncoder enc;
+    CabacContext ectx[8];
+    video::Rng rng(6);
+    std::vector<std::pair<int, int>> ops;
+    for (int i = 0; i < 3000; ++i) {
+        int c = int(rng.below(8));
+        int b = rng.chance(0.15 + 0.07 * c) ? 1 : 0;
+        ops.emplace_back(c, b);
+        enc.encodeBin(ectx[c], b);
+    }
+    auto bits = enc.finish();
+
+    trace::CountingSink sink;
+    trace::Emitter em(sink);
+    h264::KernelCtx kctx(em);
+    dec::TracedCabacDecoder traced(kctx, bits.data(), bits.size(), 8);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        ASSERT_EQ(traced.decodeBin(ops[i].first), ops[i].second)
+            << "bin " << i;
+
+    // Serial scalar shape: a realistic per-bin instruction budget with
+    // data-dependent branches, no vector work.
+    double per_bin = double(sink.mix().total()) / double(ops.size());
+    EXPECT_GT(per_bin, 12.0);
+    EXPECT_LT(per_bin, 60.0);
+    EXPECT_EQ(sink.mix().vecTotal(), 0u);
+    EXPECT_GT(sink.mix().branches(), ops.size());
+}

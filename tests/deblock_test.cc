@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deblocking-filter tests: threshold tables, reference behaviour, and
+ * traced-vs-reference bit-exactness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "h264/deblock.hh"
+#include "trace/emitter.hh"
+#include "trace/sink.hh"
+#include "video/frame.hh"
+#include "video/rng.hh"
+
+using namespace uasim;
+using h264::DeblockTables;
+
+TEST(DeblockTables, MonotonicInQp)
+{
+    const auto &t = DeblockTables::get();
+    for (int qp = 1; qp < 52; ++qp) {
+        EXPECT_GE(t.alpha[qp], t.alpha[qp - 1]);
+        EXPECT_GE(t.beta[qp], t.beta[qp - 1]);
+        for (int s = 0; s < 3; ++s)
+            EXPECT_GE(t.tc0[qp][s], t.tc0[qp - 1][s]);
+    }
+    // Inactive at low QP, active at high QP.
+    EXPECT_EQ(t.alpha[10], 0);
+    EXPECT_GT(t.alpha[30], 0);
+    EXPECT_GT(t.tc0[30][2], t.tc0[30][0]);
+}
+
+TEST(DeblockRef, SmoothsBlockEdge)
+{
+    // Step edge within threshold: filtering must shrink the step.
+    video::Plane p(32, 32);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x)
+            p.at(x, y) = x < 16 ? 100 : 110;
+    }
+    int before = std::abs(p.at(16, 4) - p.at(15, 4));
+    h264::deblockEdgeRef(p.pixel(16, 4), 1, p.stride(), 1, 32);
+    int after = std::abs(p.at(16, 4) - p.at(15, 4));
+    EXPECT_LT(after, before);
+}
+
+TEST(DeblockRef, PreservesRealEdges)
+{
+    // A large step (over alpha) is a real picture edge: untouched.
+    video::Plane p(32, 32);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x)
+            p.at(x, y) = x < 16 ? 20 : 220;
+    }
+    h264::deblockEdgeRef(p.pixel(16, 4), 1, p.stride(), 1, 32);
+    EXPECT_EQ(p.at(15, 4), 20);
+    EXPECT_EQ(p.at(16, 4), 220);
+}
+
+TEST(DeblockRef, FlatRegionUnchanged)
+{
+    video::Plane p(32, 32);
+    p.fill(128);
+    h264::deblockEdgeRef(p.pixel(16, 4), 1, p.stride(), 2, 36);
+    for (int y = 4; y < 8; ++y)
+        for (int x = 12; x < 20; ++x)
+            EXPECT_EQ(p.at(x, y), 128);
+}
+
+class DeblockTraced
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(DeblockTraced, EdgeBitExactWithReference)
+{
+    auto [qp, bs] = GetParam();
+    video::Rng rng(qp * 10 + bs);
+    for (int iter = 0; iter < 16; ++iter) {
+        video::Plane ref(48, 48), traced(48, 48);
+        for (int y = 0; y < 48; ++y) {
+            for (int x = 0; x < 48; ++x) {
+                // Blocky content with moderate steps so some edges
+                // filter and others don't.
+                std::uint8_t v = std::uint8_t(
+                    80 + 8 * ((x / 4 + y / 4 + iter) % 6) +
+                    rng.below(5));
+                ref.at(x, y) = v;
+                traced.at(x, y) = v;
+            }
+        }
+        trace::NullSink sink;
+        trace::Emitter em(sink);
+        h264::KernelCtx ctx(em);
+
+        // Vertical and horizontal edge at an interior position.
+        h264::deblockEdgeRef(ref.pixel(16, 8), 1, ref.stride(), bs, qp);
+        h264::deblockEdgeScalar(ctx, traced.pixel(16, 8), 1,
+                                traced.stride(), bs, qp);
+        h264::deblockEdgeRef(ref.pixel(8, 16), ref.stride(), 1, bs, qp);
+        h264::deblockEdgeScalar(ctx, traced.pixel(8, 16),
+                                traced.stride(), 1, bs, qp);
+        for (int y = 0; y < 48; ++y) {
+            ASSERT_EQ(std::memcmp(ref.pixel(0, y), traced.pixel(0, y),
+                                  48),
+                      0)
+                << "qp " << qp << " bs " << bs << " row " << y;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(QpAndStrength, DeblockTraced,
+                         ::testing::Combine(::testing::Values(18, 26,
+                                                              32, 40,
+                                                              48),
+                                            ::testing::Values(1, 2,
+                                                              3)));
+
+TEST(DeblockMacroblock, TracedMatchesRef)
+{
+    video::Rng rng(515);
+    video::Plane ref(64, 64), traced(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            std::uint8_t v =
+                std::uint8_t(90 + 10 * ((x / 4) % 4) + rng.below(6));
+            ref.at(x, y) = v;
+            traced.at(x, y) = v;
+        }
+    }
+    trace::CountingSink sink;
+    trace::Emitter em(sink);
+    h264::KernelCtx ctx(em);
+
+    int e1 = h264::deblockMacroblockRef(ref.pixel(16, 16), ref.stride(),
+                                        30, false);
+    int e2 = h264::deblockMacroblockScalar(ctx, traced.pixel(16, 16),
+                                           traced.stride(), 30, false);
+    EXPECT_EQ(e1, e2);
+    EXPECT_EQ(e1, 32);  // 16 vertical + 16 horizontal segments
+    for (int y = 0; y < 64; ++y) {
+        ASSERT_EQ(std::memcmp(ref.pixel(0, y), traced.pixel(0, y), 64),
+                  0)
+            << "row " << y;
+    }
+    // Scalar work only.
+    EXPECT_EQ(sink.mix().vecTotal(), 0u);
+    EXPECT_GT(sink.mix().total(), 500u);
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the cache and memory-hierarchy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+using namespace uasim::mem;
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c({"L1", 32 * 1024, 128, 2});
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.lineAddr(0x12345), 0x12345ull & ~127ull);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c({"L1", 32 * 1024, 128, 2});
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x107f, false));  // same line
+    EXPECT_FALSE(c.access(0x1080, false)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way set: three conflicting lines evict the least recent.
+    Cache c({"tiny", 1024, 128, 2});  // 4 sets
+    std::uint64_t set_stride = 128 * 4;
+    std::uint64_t a = 0, b = set_stride, d = 2 * set_stride;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);   // a most recent
+    c.access(d, false);   // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c({"tiny", 1024, 128, 2});
+    std::uint64_t set_stride = 128 * 4;
+    c.access(0, true);                 // dirty
+    c.access(set_stride, false);
+    c.access(2 * set_stride, false);   // evicts dirty line 0
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(3 * set_stride, false);   // evicts clean line
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ProbeDoesNotMutate)
+{
+    Cache c({"L1", 32 * 1024, 128, 2});
+    EXPECT_FALSE(c.probe(0x4000));
+    EXPECT_EQ(c.stats().accesses, 0u);
+    c.access(0x4000, false);
+    EXPECT_TRUE(c.probe(0x4000));
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache c({"L1", 32 * 1024, 128, 2});
+    c.access(0x2000, false);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x2000));
+}
+
+TEST(Hierarchy, LatencyLevels)
+{
+    MemoryHierarchy mh{HierarchyConfig{}};
+    // Cold: L1 miss + L2 miss -> l2 + memory latency.
+    auto r1 = mh.dataAccess(0x100000, 16, false);
+    EXPECT_TRUE(r1.l1Miss);
+    EXPECT_TRUE(r1.l2Miss);
+    EXPECT_EQ(r1.extraLatency, 12 + 250);
+    // Warm in L1: no extra latency.
+    auto r2 = mh.dataAccess(0x100000, 16, false);
+    EXPECT_FALSE(r2.l1Miss);
+    EXPECT_EQ(r2.extraLatency, 0);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemoryHierarchy mh{HierarchyConfig{}};
+    mh.dataAccess(0x0, 16, false);
+    // Walk enough conflicting lines to evict line 0 from the 2-way L1
+    // (way stride = 16KB) but keep it in the 8-way 1MB L2.
+    for (int i = 1; i <= 4; ++i)
+        mh.dataAccess(std::uint64_t(i) * 16 * 1024, 16, false);
+    auto r = mh.dataAccess(0x0, 16, false);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_FALSE(r.l2Miss);
+    EXPECT_EQ(r.extraLatency, 12);
+}
+
+TEST(Hierarchy, LineCrossingParallelBanks)
+{
+    HierarchyConfig cfg;
+    cfg.parallelBanks = true;
+    MemoryHierarchy mh{cfg};
+    // Warm both lines.
+    mh.dataAccess(0x1000, 16, false);
+    mh.dataAccess(0x1080, 16, false);
+    // 16B access straddling the 128B boundary: both lines hit, and
+    // with the Fig 7 interleaved banks the latency stays zero extra.
+    auto r = mh.dataAccess(0x1078, 16, false);
+    EXPECT_TRUE(r.crossedLine);
+    EXPECT_EQ(r.extraLatency, 0);
+}
+
+TEST(Hierarchy, LineCrossingColdParallelVsSerial)
+{
+    // Both lines cold in L1 (L2 resident): parallel banks pay max(12,
+    // 12) = 12; a serial design pays 24.
+    for (bool parallel : {true, false}) {
+        HierarchyConfig cfg;
+        cfg.parallelBanks = parallel;
+        MemoryHierarchy mh{cfg};
+        // Install in L2 by touching once, then evicting from L1.
+        mh.dataAccess(0x1000, 16, false);
+        mh.dataAccess(0x1080, 16, false);
+        for (int i = 1; i <= 4; ++i) {
+            mh.dataAccess(0x1000 + std::uint64_t(i) * 16 * 1024, 16,
+                          false);
+            mh.dataAccess(0x1080 + std::uint64_t(i) * 16 * 1024, 16,
+                          false);
+        }
+        auto r = mh.dataAccess(0x1078, 16, false);
+        EXPECT_TRUE(r.crossedLine);
+        EXPECT_TRUE(r.l1Miss);
+        EXPECT_EQ(r.extraLatency, parallel ? 12 : 24);
+    }
+}
+
+TEST(Hierarchy, FetchPath)
+{
+    MemoryHierarchy mh{HierarchyConfig{}};
+    auto r1 = mh.fetchAccess(0x10000000);
+    EXPECT_TRUE(r1.l1Miss);
+    auto r2 = mh.fetchAccess(0x10000004);  // same line
+    EXPECT_FALSE(r2.l1Miss);
+    EXPECT_EQ(r2.extraLatency, 0);
+}
+
+TEST(Hierarchy, TableTwoGeometry)
+{
+    HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1d.size, 32u * 1024);
+    EXPECT_EQ(cfg.l1d.assoc, 2u);
+    EXPECT_EQ(cfg.l1d.lineSize, 128u);
+    EXPECT_EQ(cfg.l1i.assoc, 1u);
+    EXPECT_EQ(cfg.l2.size, 1024u * 1024);
+    EXPECT_EQ(cfg.l2.assoc, 8u);
+    EXPECT_EQ(cfg.l2Latency, 12);
+    EXPECT_EQ(cfg.memLatency, 250);
+}

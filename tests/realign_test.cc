@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Property tests for the realignment idioms and the Table I strategy
+ * layer: every strategy must produce the same 16 bytes for every
+ * alignment offset, at the instruction cost the paper tabulates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/emitter.hh"
+#include "trace/sink.hh"
+#include "vmx/buffer.hh"
+#include "vmx/realign.hh"
+#include "vmx/scalarops.hh"
+#include "vmx/strategies.hh"
+
+using namespace uasim;
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::RealignStrategy;
+using vmx::Vec;
+
+namespace {
+
+struct Env {
+    trace::CountingSink sink;
+    trace::Emitter em{sink};
+    vmx::ScalarOps so{em};
+    vmx::VecOps vo{em};
+};
+
+} // namespace
+
+/// Parameterized over the 16 alignment offsets.
+class RealignOffset : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RealignOffset, SwLoadUMatchesMemcpy)
+{
+    int off = GetParam();
+    Env env;
+    vmx::AlignedBuffer buf(64, off);
+    for (int i = 0; i < 64; ++i)
+        buf[i] = std::uint8_t(7 * i + 3);
+    Vec v = vmx::swLoadU(env.vo, CPtr{buf.data()});
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(v.u8(i), buf[i]) << "offset " << off << " byte " << i;
+}
+
+TEST_P(RealignOffset, SwLoadUCostsFourInstructions)
+{
+    int off = GetParam();
+    Env env;
+    vmx::AlignedBuffer buf(64, off);
+    vmx::swLoadU(env.vo, CPtr{buf.data()});
+    EXPECT_EQ(env.sink.mix().total(), 4u);
+    EXPECT_EQ(env.sink.mix().vecLoads(), 2u);
+    EXPECT_EQ(env.sink.mix().vecPerm(), 2u);  // lvsl + vperm
+}
+
+TEST_P(RealignOffset, SwStoreUWritesExactly16Bytes)
+{
+    int off = GetParam();
+    Env env;
+    vmx::AlignedBuffer buf(96, off);
+    buf.fill(0xaa);
+    Vec data;
+    for (int i = 0; i < 16; ++i)
+        data.b[i] = std::uint8_t(i + 1);
+    auto ctx = vmx::swStoreUPrologue(env.vo);
+    vmx::swStoreU(env.vo, ctx, data, Ptr{buf.data() + 16});
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(buf[i], 0xaa) << i;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(buf[16 + i], i + 1) << i;
+    for (int i = 32; i < 48; ++i)
+        EXPECT_EQ(buf[i], 0xaa) << i;
+}
+
+TEST_P(RealignOffset, SwStorePartialWidths)
+{
+    int off = GetParam();
+    for (int width : {4, 8, 12}) {
+        Env env;
+        vmx::AlignedBuffer buf(96, off);
+        buf.fill(0x55);
+        Vec data;
+        for (int i = 0; i < 16; ++i)
+            data.b[i] = std::uint8_t(0xc0 + i);
+        auto ctx = vmx::swStoreUPrologue(env.vo);
+        Vec mask = vmx::makeWidthMask(env.vo, width);
+        vmx::swStorePartial(env.vo, ctx, mask, data,
+                            Ptr{buf.data() + 24});
+        for (int i = 0; i < 24; ++i)
+            EXPECT_EQ(buf[i], 0x55) << "w" << width << " pre " << i;
+        for (int i = 0; i < width; ++i)
+            EXPECT_EQ(buf[24 + i], 0xc0 + i) << "w" << width;
+        for (int i = 24 + width; i < 64; ++i)
+            EXPECT_EQ(buf[i], 0x55) << "w" << width << " post " << i;
+    }
+}
+
+TEST_P(RealignOffset, HwStorePartialWidths)
+{
+    int off = GetParam();
+    for (int width : {4, 8}) {
+        Env env;
+        vmx::AlignedBuffer buf(96, off);
+        buf.fill(0x33);
+        Vec data;
+        for (int i = 0; i < 16; ++i)
+            data.b[i] = std::uint8_t(0xe0 + i);
+        Vec mask = vmx::makeWidthMask(env.vo, width);
+        vmx::hwStorePartial(env.vo, mask, data, Ptr{buf.data() + 8});
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(buf[i], 0x33);
+        for (int i = 0; i < width; ++i)
+            EXPECT_EQ(buf[8 + i], 0xe0 + i);
+        for (int i = 8 + width; i < 48; ++i)
+            EXPECT_EQ(buf[i], 0x33);
+    }
+}
+
+TEST_P(RealignOffset, StreamLoaderWalksStrideOne)
+{
+    int off = GetParam();
+    Env env;
+    vmx::AlignedBuffer buf(256, off);
+    for (int i = 0; i < 256; ++i)
+        buf[i] = std::uint8_t(i);
+    vmx::SwStreamLoader stream(env.vo, CPtr{buf.data()});
+    for (int block = 0; block < 8; ++block) {
+        Vec v = stream.next();
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(v.u8(i), std::uint8_t(16 * block + i));
+    }
+    // Steady state: 2 instructions per 16B (paper Fig 2(b)/Fig 3).
+    auto total = env.sink.mix().total();
+    EXPECT_EQ(total, 2u + 8u * 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, RealignOffset,
+                         ::testing::Range(0, 16));
+
+/// Strategies x offsets: functional equivalence + exact instruction
+/// budgets from Table I.
+class StrategyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(StrategyTest, LoadMatchesMemcpyAtTabulatedCost)
+{
+    auto [si, off] = GetParam();
+    auto strat = static_cast<RealignStrategy>(si);
+    Env env;
+    vmx::AlignedBuffer buf(64, off);
+    for (int i = 0; i < 64; ++i)
+        buf[i] = std::uint8_t(31 * i + 11);
+    Vec v = vmx::strategyLoadU(env.vo, strat, CPtr{buf.data()});
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(v.u8(i), buf[i])
+            << vmx::strategyName(strat) << " offset " << off;
+    }
+    EXPECT_EQ(env.sink.mix().total(),
+              std::uint64_t(vmx::strategyLoadInstrs(strat)))
+        << vmx::strategyName(strat);
+}
+
+TEST_P(StrategyTest, StoreMatchesAtTabulatedCost)
+{
+    auto [si, off] = GetParam();
+    auto strat = static_cast<RealignStrategy>(si);
+    Env env;
+    vmx::AlignedBuffer buf(96, off);
+    buf.fill(0x11);
+    Vec data;
+    for (int i = 0; i < 16; ++i)
+        data.b[i] = std::uint8_t(0x40 + i);
+    auto ctx = vmx::swStoreUPrologue(env.vo);
+    auto before = env.sink.mix().total();
+    vmx::strategyStoreU(env.vo, strat, ctx, data, Ptr{buf.data() + 8});
+    auto cost = env.sink.mix().total() - before;
+    EXPECT_EQ(cost, std::uint64_t(vmx::strategyStoreInstrs(strat)))
+        << vmx::strategyName(strat);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(buf[8 + i], 0x40 + i);
+    EXPECT_EQ(buf[7], 0x11);
+    EXPECT_EQ(buf[24], 0x11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAllOffsets, StrategyTest,
+    ::testing::Combine(
+        ::testing::Range(0,
+                         int(RealignStrategy::NumStrategies)),
+        ::testing::Range(0, 16)));
+
+TEST(StrategyMeta, NamesAndCosts)
+{
+    for (int i = 0; i < int(RealignStrategy::NumStrategies); ++i) {
+        auto s = static_cast<RealignStrategy>(i);
+        EXPECT_FALSE(vmx::strategyName(s).empty());
+        EXPECT_FALSE(vmx::strategyIsa(s).empty());
+        EXPECT_GE(vmx::strategyLoadInstrs(s), 1);
+        EXPECT_LE(vmx::strategyLoadInstrs(s), 4);
+    }
+    // The paper's proposal is the only 1-instruction load and store.
+    EXPECT_EQ(vmx::strategyLoadInstrs(RealignStrategy::HwUnaligned), 1);
+    EXPECT_EQ(vmx::strategyStoreInstrs(RealignStrategy::HwUnaligned), 1);
+    EXPECT_EQ(vmx::strategyLoadInstrs(RealignStrategy::AltivecSw), 4);
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the trace layer: records, mixes, emitter, sinks, and
+ * binary trace I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/emitter.hh"
+#include "trace/instr.hh"
+#include "trace/mix.hh"
+#include "trace/sink.hh"
+#include "trace/trace_io.hh"
+
+namespace ut = uasim::trace;
+
+TEST(InstrClass, Predicates)
+{
+    using IC = ut::InstrClass;
+    EXPECT_TRUE(ut::isMemClass(IC::Load));
+    EXPECT_TRUE(ut::isMemClass(IC::VecStoreU));
+    EXPECT_FALSE(ut::isMemClass(IC::IntAlu));
+    EXPECT_FALSE(ut::isMemClass(IC::Branch));
+
+    EXPECT_TRUE(ut::isLoadClass(IC::VecLoadU));
+    EXPECT_FALSE(ut::isLoadClass(IC::VecStore));
+    EXPECT_TRUE(ut::isStoreClass(IC::VecStoreU));
+    EXPECT_FALSE(ut::isStoreClass(IC::Load));
+
+    EXPECT_TRUE(ut::isVectorClass(IC::VecPerm));
+    EXPECT_TRUE(ut::isVectorClass(IC::VecLoad));
+    EXPECT_FALSE(ut::isVectorClass(IC::FpAlu));
+
+    EXPECT_TRUE(ut::isUnalignedVecMem(IC::VecLoadU));
+    EXPECT_FALSE(ut::isUnalignedVecMem(IC::VecLoad));
+}
+
+TEST(InstrClass, NamesAreUnique)
+{
+    for (int i = 0; i < ut::numInstrClasses; ++i) {
+        for (int j = i + 1; j < ut::numInstrClasses; ++j) {
+            EXPECT_NE(ut::instrClassName(ut::InstrClass(i)),
+                      ut::instrClassName(ut::InstrClass(j)));
+        }
+    }
+}
+
+TEST(InstrMix, CountsAndGroups)
+{
+    ut::InstrMix mix;
+    mix.add(ut::InstrClass::IntAlu, 5);
+    mix.add(ut::InstrClass::IntMul, 2);
+    mix.add(ut::InstrClass::VecLoad, 3);
+    mix.add(ut::InstrClass::VecLoadU, 4);
+    mix.add(ut::InstrClass::VecStore, 1);
+    mix.add(ut::InstrClass::VecStoreU, 1);
+    mix.add(ut::InstrClass::VecPerm, 7);
+
+    EXPECT_EQ(mix.total(), 23u);
+    EXPECT_EQ(mix.intOps(), 7u);
+    EXPECT_EQ(mix.vecLoads(), 7u);
+    EXPECT_EQ(mix.vecStores(), 2u);
+    EXPECT_EQ(mix.vecPerm(), 7u);
+    EXPECT_EQ(mix.vecTotal(), 16u);
+}
+
+TEST(InstrMix, Accumulate)
+{
+    ut::InstrMix a, b;
+    a.add(ut::InstrClass::Load, 10);
+    b.add(ut::InstrClass::Load, 5);
+    b.add(ut::InstrClass::Store, 2);
+    a += b;
+    EXPECT_EQ(a.count(ut::InstrClass::Load), 15u);
+    EXPECT_EQ(a.count(ut::InstrClass::Store), 2u);
+}
+
+TEST(Emitter, AssignsSequentialIds)
+{
+    ut::BufferSink sink;
+    ut::Emitter em(sink);
+    auto d1 = em.emit(ut::InstrClass::IntAlu,
+                      std::source_location::current());
+    auto d2 = em.emit(ut::InstrClass::IntAlu,
+                      std::source_location::current());
+    EXPECT_EQ(d1.id, 1u);
+    EXPECT_EQ(d2.id, 2u);
+    EXPECT_EQ(em.count(), 2u);
+    ASSERT_EQ(sink.records().size(), 2u);
+    EXPECT_EQ(sink.records()[0].id, 1u);
+}
+
+TEST(Emitter, StablePcPerCallSite)
+{
+    ut::BufferSink sink;
+    ut::Emitter em(sink);
+    for (int i = 0; i < 4; ++i) {
+        em.emit(ut::InstrClass::IntAlu,
+                std::source_location::current());  // one site
+    }
+    ASSERT_EQ(sink.records().size(), 4u);
+    std::uint64_t pc = sink.records()[0].pc;
+    EXPECT_GE(pc, ut::Emitter::codeBase);
+    for (const auto &r : sink.records())
+        EXPECT_EQ(r.pc, pc);
+    EXPECT_EQ(em.staticSites(), 1u);
+}
+
+TEST(Emitter, DistinctSitesGetDistinctPcs)
+{
+    ut::BufferSink sink;
+    ut::Emitter em(sink);
+    em.emit(ut::InstrClass::IntAlu, std::source_location::current());
+    em.emit(ut::InstrClass::IntAlu, std::source_location::current());
+    ASSERT_EQ(sink.records().size(), 2u);
+    EXPECT_NE(sink.records()[0].pc, sink.records()[1].pc);
+    EXPECT_EQ(em.staticSites(), 2u);
+}
+
+TEST(Emitter, RecordsDepsAndAddresses)
+{
+    ut::BufferSink sink;
+    ut::Emitter em(sink);
+    auto p = em.emit(ut::InstrClass::IntAlu,
+                     std::source_location::current());
+    em.emitMem(ut::InstrClass::Load, 0x1234, 4,
+               std::source_location::current(), p);
+    em.emitBranch(true, std::source_location::current(), p);
+    const auto &load = sink.records()[1];
+    EXPECT_EQ(load.addr, 0x1234u);
+    EXPECT_EQ(load.size, 4);
+    EXPECT_EQ(load.deps[0], p.id);
+    const auto &br = sink.records()[2];
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.cls, ut::InstrClass::Branch);
+}
+
+TEST(Sinks, CountingSink)
+{
+    ut::CountingSink sink;
+    ut::Emitter em(sink);
+    em.emit(ut::InstrClass::VecSimple, std::source_location::current());
+    em.emitMem(ut::InstrClass::VecLoadU, 0x10, 16,
+               std::source_location::current());
+    EXPECT_EQ(sink.mix().total(), 2u);
+    EXPECT_EQ(sink.mix().vecLoads(), 1u);
+}
+
+TEST(Sinks, TeeDuplicates)
+{
+    ut::CountingSink a;
+    ut::BufferSink b;
+    ut::TeeSink tee(a, b);
+    ut::Emitter em(tee);
+    em.emit(ut::InstrClass::IntAlu, std::source_location::current());
+    EXPECT_EQ(a.mix().total(), 1u);
+    EXPECT_EQ(b.records().size(), 1u);
+}
+
+TEST(Sinks, CallbackSink)
+{
+    int calls = 0;
+    ut::CallbackSink sink([&](const ut::InstrRecord &) { ++calls; });
+    ut::Emitter em(sink);
+    em.emit(ut::InstrClass::IntAlu, std::source_location::current());
+    em.emit(ut::InstrClass::IntAlu, std::source_location::current());
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/uasim_trace_test.bin";
+    {
+        ut::FileSink fs(path);
+        ut::Emitter em(fs);
+        auto d = em.emit(ut::InstrClass::IntAlu,
+                         std::source_location::current());
+        em.emitMem(ut::InstrClass::VecLoadU, 0xdeadbeef, 16,
+                   std::source_location::current(), d);
+        em.emitBranch(true, std::source_location::current());
+        fs.close();
+        EXPECT_EQ(fs.written(), 3u);
+    }
+    ut::TraceReader reader(path);
+    EXPECT_EQ(reader.count(), 3u);
+    ut::InstrRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.cls, ut::InstrClass::IntAlu);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.cls, ut::InstrClass::VecLoadU);
+    EXPECT_EQ(rec.addr, 0xdeadbeefu);
+    EXPECT_EQ(rec.deps[0], 1u);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_TRUE(rec.taken);
+    EXPECT_FALSE(reader.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, DrainToSink)
+{
+    std::string path = ::testing::TempDir() + "/uasim_trace_drain.bin";
+    {
+        ut::FileSink fs(path);
+        ut::Emitter em(fs);
+        for (int i = 0; i < 100; ++i)
+            em.emit(ut::InstrClass::VecPerm,
+                    std::source_location::current());
+    }
+    ut::TraceReader reader(path);
+    ut::CountingSink sink;
+    EXPECT_EQ(reader.drainTo(sink), 100u);
+    EXPECT_EQ(sink.mix().vecPerm(), 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadMagicThrows)
+{
+    std::string path = ::testing::TempDir() + "/uasim_bad_magic.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOTATRACE1234567", 1, 16, f);
+    std::fclose(f);
+    EXPECT_THROW(ut::TraceReader reader(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(ut::TraceReader reader("/nonexistent/trace.bin"),
+                 std::runtime_error);
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the video substrate: frames, synthetic sequences, motion
+ * model, and the Fig 4 alignment statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "video/frame.hh"
+#include "video/motion.hh"
+#include "video/rng.hh"
+#include "video/sequence.hh"
+
+using namespace uasim::video;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, TwoSidedGeometricRoughlySymmetric)
+{
+    Rng r(11);
+    std::int64_t sum = 0, absum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = r.twoSidedGeometric(6.0);
+        sum += v;
+        absum += std::abs(v);
+    }
+    EXPECT_LT(std::abs(sum), absum / 10 + 200);
+    EXPECT_GT(absum / 20000.0, 2.0);  // mean magnitude near scale
+}
+
+TEST(Plane, GeometryAndAlignment)
+{
+    Plane p(720, 576);
+    EXPECT_EQ(p.width(), 720);
+    EXPECT_EQ(p.height(), 576);
+    EXPECT_EQ(p.stride() % 16, 0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.pixel(0, 0)) & 15, 0u);
+    // Row bases keep the same (x % 16) residue as x varies.
+    auto a0 = reinterpret_cast<std::uintptr_t>(p.pixel(4, 0));
+    auto a1 = reinterpret_cast<std::uintptr_t>(p.pixel(4, 37));
+    EXPECT_EQ(a0 & 15, a1 & 15);
+}
+
+TEST(Plane, EdgeExtension)
+{
+    Plane p(64, 48);
+    p.fill(0);
+    p.at(0, 0) = 7;
+    p.at(63, 0) = 9;
+    p.at(0, 47) = 3;
+    p.extendEdges();
+    EXPECT_EQ(*p.pixel(-1, 0), 7);
+    EXPECT_EQ(*p.pixel(-Plane::border, 0), 7);
+    EXPECT_EQ(*p.pixel(64, 0), 9);
+    EXPECT_EQ(*p.pixel(-5, -5), 7);   // corner
+    EXPECT_EQ(*p.pixel(0, -1), 7);
+    EXPECT_EQ(*p.pixel(-3, 47), 3);
+}
+
+TEST(Frame, ChromaIsHalfResolution)
+{
+    Frame f(720, 576);
+    EXPECT_EQ(f.cb().width(), 360);
+    EXPECT_EQ(f.cb().height(), 288);
+    EXPECT_EQ(f.cr().width(), 360);
+}
+
+TEST(Sequence, TwelveProfiles)
+{
+    auto all = allSequenceParams();
+    EXPECT_EQ(all.size(), 12u);
+    // Names match the paper's Fig 4 legend style.
+    EXPECT_EQ(all[0].label(), "576_rush_hour");
+    EXPECT_EQ(all[11].label(), "1088_riverbed");
+}
+
+TEST(Sequence, ContentStatisticsDiffer)
+{
+    Resolution res{720, 576, "576"};
+    auto rush = makeParams(Content::RushHour, res);
+    auto river = makeParams(Content::Riverbed, res);
+    EXPECT_GT(rush.interRatio, river.interRatio);
+    EXPECT_GT(rush.zeroMvRatio, river.zeroMvRatio);
+    EXPECT_LT(rush.mvScaleQpel, river.mvScaleQpel);
+}
+
+TEST(Sequence, RenderDeterministicAndCoherent)
+{
+    auto params = makeParams(Content::Pedestrian, {176, 144, "qcif"});
+    SyntheticSequence seq(params);
+    Frame a(176, 144), b(176, 144);
+    seq.render(3, a);
+    seq.render(3, b);
+    for (int y = 0; y < 144; ++y) {
+        for (int x = 0; x < 176; ++x)
+            ASSERT_EQ(a.luma().at(x, y), b.luma().at(x, y));
+    }
+    // Frames are not blank.
+    int distinct = 0;
+    for (int x = 1; x < 176; ++x)
+        distinct += a.luma().at(x, 10) != a.luma().at(x - 1, 10);
+    EXPECT_GT(distinct, 20);
+}
+
+TEST(MotionModel, TilesEveryMacroblock)
+{
+    auto params = makeParams(Content::Pedestrian, {176, 144, "qcif"});
+    MotionModel model(params);
+    auto parts = model.framePartitions(1);
+    // Area must tile the frame exactly.
+    std::uint64_t area = 0;
+    for (const auto &p : parts) {
+        area += std::uint64_t(p.w) * p.h;
+        EXPECT_EQ(p.x % p.w, 0);
+        EXPECT_EQ(p.y % p.h, 0);
+    }
+    EXPECT_EQ(area, 176u * 144u);
+}
+
+TEST(MotionModel, Deterministic)
+{
+    auto params = makeParams(Content::BlueSky, {176, 144, "qcif"});
+    MotionModel m1(params), m2(params);
+    auto a = m1.framePartitions(2);
+    auto b = m2.framePartitions(2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].x, b[i].x);
+        EXPECT_EQ(a[i].mvxQ, b[i].mvxQ);
+        EXPECT_EQ(a[i].inter, b[i].inter);
+    }
+}
+
+TEST(MotionModel, InterRatioTracksContent)
+{
+    for (auto content : {Content::RushHour, Content::Riverbed}) {
+        auto params = makeParams(content, {720, 576, "576"});
+        MotionModel model(params);
+        int inter_mbs = 0, total_mbs = 0;
+        for (const auto &p : model.framePartitions(0)) {
+            if (p.w == 16 || (p.x % 16 == 0 && p.y % 16 == 0)) {
+                ++total_mbs;
+                inter_mbs += p.inter;
+            }
+        }
+        double ratio = double(inter_mbs) / total_mbs;
+        EXPECT_NEAR(ratio, params.interRatio, 0.08)
+            << contentName(content);
+    }
+}
+
+TEST(AlignmentHistogram, SumsToHundredPercent)
+{
+    AlignmentHistogram h;
+    for (int i = 0; i < 160; ++i)
+        h.add(i);
+    double sum = 0;
+    for (int o = 0; o < 16; ++o)
+        sum += h.percent(o);
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+    EXPECT_NEAR(h.percent(3), 100.0 / 16, 1e-9);
+}
+
+TEST(McAlignment, Fig4Shapes)
+{
+    auto params = makeParams(Content::Pedestrian, {720, 576, "576"});
+    auto stats = collectMcAlignment(params, 4);
+
+    ASSERT_GT(stats.lumaLoad.total, 100u);
+    ASSERT_GT(stats.lumaStore.total, 100u);
+
+    // Loads: offsets spread over the full 0..15 range (unpredictable).
+    int nonzero = 0;
+    for (int o = 0; o < 16; ++o)
+        nonzero += stats.lumaLoad.counts[o] > 0;
+    EXPECT_GE(nonzero, 14);
+
+    // Stores: destination offsets depend only on block position, so
+    // only multiples of 4 occur, dominated by 0 (paper Fig 4(c)).
+    for (int o = 0; o < 16; ++o) {
+        if (o % 4 != 0)
+            EXPECT_EQ(stats.lumaStore.counts[o], 0u) << o;
+    }
+    EXPECT_GT(stats.lumaStore.percent(0), 40.0);
+
+    // Chroma stores: only even offsets (half-resolution positions).
+    for (int o = 1; o < 16; o += 2)
+        EXPECT_EQ(stats.chromaStore.counts[o], 0u) << o;
+}
+
+TEST(McAlignment, SlowContentHasBiggerZeroSpike)
+{
+    auto rush =
+        collectMcAlignment(makeParams(Content::RushHour,
+                                      {720, 576, "576"}), 4);
+    auto river =
+        collectMcAlignment(makeParams(Content::Riverbed,
+                                      {720, 576, "576"}), 4);
+    // Zero-MV traffic piles onto offset 0 for slow content.
+    EXPECT_GT(rush.lumaLoad.percent(0), river.lumaLoad.percent(0));
+}
