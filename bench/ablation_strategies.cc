@@ -59,7 +59,7 @@ sadWithStrategy(vmx::ScalarOps &so, vmx::VecOps &vo,
 int
 main(int argc, char **argv)
 {
-    const int execs = bench::intFlag(argc, argv, "--execs", 300);
+    const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
     std::printf("== Ablation: Table I strategies inside the SAD 16x16 "
                 "kernel ==\n(%d executions per point; cycles per "
                 "execution, +1/+2 network for\nhardware-unaligned "

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string>
 
+#include "video/sequence.hh"
+
 namespace uasim::bench {
 
 /// Parse "--execs N" / "--frames N" style flags with a default.
@@ -32,6 +34,34 @@ boolFlag(int argc, char **argv, const char *name)
             return true;
     }
     return false;
+}
+
+/// True when the smoke-test tiny-input path was requested.
+inline bool
+quickFlag(int argc, char **argv)
+{
+    return boolFlag(argc, argv, "--quick");
+}
+
+/**
+ * Workload-size flag with a --quick override: an explicit "--execs N"
+ * wins, otherwise --quick selects @p quickDef (a tiny smoke-test
+ * input), otherwise @p def (the paper-scale default).
+ */
+inline int
+sizeFlag(int argc, char **argv, const char *name, int def, int quickDef)
+{
+    return intFlag(argc, argv, name,
+                   quickFlag(argc, argv) ? quickDef : def);
+}
+
+/// Smoke-path geometry shared by the scenario programs: QCIF under
+/// --quick, CIF otherwise.
+inline video::Resolution
+quickResolution(bool quick)
+{
+    return quick ? video::Resolution{176, 144, "qcif"}
+                 : video::Resolution{352, 288, "cif"};
 }
 
 } // namespace uasim::bench

@@ -25,7 +25,7 @@ using dec::StageCounts;
 int
 main(int argc, char **argv)
 {
-    const int frames = bench::intFlag(argc, argv, "--frames", 4);
+    const int frames = bench::sizeFlag(argc, argv, "--frames", 4, 1);
     const int qp = bench::intFlag(argc, argv, "--qp", 34);
     const bool full = bench::boolFlag(argc, argv, "--full-res");
     const double hz = 2.0e9;

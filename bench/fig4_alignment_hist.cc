@@ -42,7 +42,7 @@ printPanel(const char *title,
 int
 main(int argc, char **argv)
 {
-    const int frames = bench::intFlag(argc, argv, "--frames", 8);
+    const int frames = bench::sizeFlag(argc, argv, "--frames", 8, 1);
     std::printf("== Fig 4: alignment offsets in H.264/AVC luma and "
                 "chroma interpolation ==\n(%d frames of MC block "
                 "addresses per sequence)\n\n",

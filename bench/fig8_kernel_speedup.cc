@@ -21,7 +21,7 @@ using h264::Variant;
 int
 main(int argc, char **argv)
 {
-    const int execs = bench::intFlag(argc, argv, "--execs", 300);
+    const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
     std::printf("== Fig 8: speed-up in kernels with support for "
                 "unaligned load and stores ==\n(%d executions per "
                 "point; normalized to the 2-way scalar version)\n\n",

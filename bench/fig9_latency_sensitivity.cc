@@ -20,7 +20,7 @@ using h264::Variant;
 int
 main(int argc, char **argv)
 {
-    const int execs = bench::intFlag(argc, argv, "--execs", 300);
+    const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
     const int extras[] = {0, 1, 2, 4, 6};
 
     std::printf("== Fig 9: performance impact of the latency of "

@@ -34,7 +34,9 @@ chainLatency(RealignStrategy strat)
     timing::PipelineSim sim(cfg);
     trace::AddrNormalizer norm(sim);
     vmx::AlignedBuffer buf(4096, 5);
-    norm.addRegion(buf.data(), buf.size(), 0x10000000);
+    // Include the guard bands: forced-aligned lvx and the 32B-wide
+    // lddqu legitimately reach up to 16B outside the payload.
+    norm.addRegion(buf.data() - 16, buf.size() + 32, 0x10000000);
     trace::Emitter em(norm);
     vmx::VecOps vo(em);
     vmx::ScalarOps so(em);

@@ -19,7 +19,7 @@ using h264::Variant;
 int
 main(int argc, char **argv)
 {
-    const int execs = bench::intFlag(argc, argv, "--execs", 1000);
+    const int execs = bench::sizeFlag(argc, argv, "--execs", 1000, 16);
     std::printf("== Table III: dynamic instruction count for %d "
                 "executions (thousands) ==\n\n",
                 execs);

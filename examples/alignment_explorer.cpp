@@ -8,16 +8,18 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
+
 #include "core/experiment.hh"
 
 using namespace uasim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int execs = bench::sizeFlag(argc, argv, "--execs", 200, 20);
     core::KernelSpec spec{h264::KernelId::ChromaMc, 8, false};
     core::KernelBench bench(spec);
-    const int execs = 200;
 
     std::printf("design-space sweep on %s (4-way core, %d "
                 "executions)\n\n",

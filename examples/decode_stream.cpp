@@ -8,18 +8,22 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
+
 #include "decoder/codec.hh"
 
 using namespace uasim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool quick = bench::quickFlag(argc, argv);
+
     dec::CodecConfig cfg;
     cfg.seq = video::makeParams(video::Content::BlueSky,
-                                {352, 288, "cif"});
+                                bench::quickResolution(quick));
     cfg.qp = 30;
-    cfg.frames = 6;
+    cfg.frames = bench::sizeFlag(argc, argv, "--frames", 6, 2);
 
     dec::MiniEncoder enc(cfg);
     dec::MiniDecoder decd(cfg);

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
+
 #include "h264/sad_kernels.hh"
 #include "trace/emitter.hh"
 #include "trace/sink.hh"
@@ -60,13 +62,17 @@ diamondSearch(h264::KernelCtx &ctx, h264::Variant variant,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool quick = bench::quickFlag(argc, argv);
+    const video::Resolution res = bench::quickResolution(quick);
+    const int w = res.width;
+    const int h = res.height;
+
     // Blue-sky-like content: a global pan the search must track.
-    auto params = video::makeParams(video::Content::BlueSky,
-                                    {352, 288, "cif"});
+    auto params = video::makeParams(video::Content::BlueSky, res);
     video::SyntheticSequence seq(params);
-    video::Frame f0(352, 288), f1(352, 288);
+    video::Frame f0(w, h), f1(w, h);
     seq.render(0, f0);
     seq.render(4, f1);
 
@@ -82,8 +88,8 @@ main()
 
         long total_mv = 0;
         int blocks = 0;
-        for (int by = 16; by + 16 <= 288 - 16; by += 16) {
-            for (int bx = 16; bx + 16 <= 352 - 16; bx += 16) {
+        for (int by = 16; by + 16 <= h - 16; by += 16) {
+            for (int bx = 16; bx + 16 <= w - 16; bx += 16) {
                 auto [mx, my] = diamondSearch(ctx, variant, f1.luma(),
                                               f0.luma(), bx, by, hist);
                 total_mv += std::abs(mx) + std::abs(my);

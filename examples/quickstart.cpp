@@ -8,13 +8,18 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
+
 #include "core/api.hh"
 
 using namespace uasim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int count_execs =
+        bench::sizeFlag(argc, argv, "--execs", 100, 10);
+    const int sim_execs = 2 * count_execs;
     // 1. Pick a kernel configuration: SAD over 16x16 blocks, the
     //    motion-estimation metric with unpredictable alignments.
     core::KernelSpec spec{h264::KernelId::Sad, 16, false};
@@ -27,10 +32,11 @@ main()
     }
 
     // 3. Dynamic instruction counts (the paper's Table III view).
-    std::printf("%s, 100 executions:\n", spec.name().c_str());
+    std::printf("%s, %d executions:\n", spec.name().c_str(),
+                count_execs);
     for (int v = 0; v < h264::numVariants; ++v) {
         auto variant = static_cast<h264::Variant>(v);
-        auto mix = bench.countInstrs(variant, 100);
+        auto mix = bench.countInstrs(variant, count_execs);
         std::printf("  %-10s total=%7lu  vec_loads=%5lu  perms=%5lu\n",
                     std::string(h264::variantName(variant)).c_str(),
                     (unsigned long)mix.total(),
@@ -44,7 +50,7 @@ main()
     double cycles[3];
     for (int v = 0; v < h264::numVariants; ++v) {
         auto variant = static_cast<h264::Variant>(v);
-        auto res = bench.simulate(variant, cfg, 200);
+        auto res = bench.simulate(variant, cfg, sim_execs);
         cycles[v] = double(res.cycles);
         std::printf("  %-10s %9.0f cycles  (ipc %.2f, mispredict "
                     "%.1f%%)\n",

@@ -5,7 +5,12 @@ namespace uasim::h264 {
 namespace {
 
 struct ClipTableHolder {
-    std::uint8_t table[clipTableSize];
+    // 16B alignment keeps the table's 16B-granule partitioning
+    // host-independent under trace::AddrNormalizer's fallback mapping
+    // (see addrmap.hh): traced byte loads hit data-dependent offsets,
+    // and a build-dependent (base & 15) would shift which loads share
+    // a granule.
+    alignas(16) std::uint8_t table[clipTableSize];
 
     ClipTableHolder()
     {

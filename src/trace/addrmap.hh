@@ -5,14 +5,24 @@
  * Trace records carry host addresses; cache behaviour must not depend
  * on where the host allocator happened to place buffers. This sink
  * filter rebases each registered buffer onto a fixed virtual base
- * (preserving internal layout exactly) and folds unregistered
- * addresses (constant pool, spill slots) into a dedicated region
- * keeping their low 20 bits, which preserves L1/L2 set indexing.
+ * (preserving internal layout exactly) and maps each unregistered
+ * 16-byte granule (constant pool, clip tables, spill slots) onto a
+ * stable virtual granule in order of first appearance, preserving
+ * the in-granule offset. Fallback traffic is at most 16 bytes wide
+ * and at least naturally aligned (vector slots are alignas(16)), so
+ * (addr & 15) is host-independent, no access straddles a granule,
+ * and the whole translated stream - and with it the simulated cycle
+ * count - is identical across hosts, allocators and sanitizer
+ * builds. The cost is that side-table walks lose host spatial
+ * adjacency across granules: the fallback region models working-set
+ * size, not the tables' exact line packing.
  */
 
 #ifndef UASIM_TRACE_ADDRMAP_HH
 #define UASIM_TRACE_ADDRMAP_HH
 
+#include <cassert>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/sink.hh"
@@ -24,12 +34,18 @@ class AddrNormalizer : public TraceSink
   public:
     explicit AddrNormalizer(TraceSink &down) : down_(&down) {}
 
-    /// Rebase [base, base+size) onto @p vbase.
+    /**
+     * Rebase [base, base+size) onto @p vbase. The timing model reads
+     * (addr & 15) and line crossings off translated addresses, so the
+     * virtual base keeps the host base's 16B alignment phase: the low
+     * 4 bits of @p vbase are replaced with those of @p base.
+     */
     void
     addRegion(const void *base, std::size_t size, std::uint64_t vbase)
     {
-        regions_.push_back({reinterpret_cast<std::uint64_t>(base),
-                            size, vbase});
+        auto b = reinterpret_cast<std::uint64_t>(base);
+        vbase = (vbase & ~std::uint64_t{0xf}) | (b & 0xf);
+        regions_.push_back({b, size, vbase});
     }
 
     /// Region of unregistered (fallback) addresses.
@@ -40,21 +56,36 @@ class AddrNormalizer : public TraceSink
     {
         InstrRecord out = rec;
         if (out.isMem())
-            out.addr = translate(out.addr);
+            out.addr = translate(out.addr, out.size);
         down_->append(out);
     }
 
     std::uint64_t
-    translate(std::uint64_t addr) const
+    translate(std::uint64_t addr, [[maybe_unused]] unsigned size = 0)
     {
         for (const auto &r : regions_) {
             if (addr >= r.base && addr < r.base + r.size)
                 return r.vbase + (addr - r.base);
         }
-        return fallbackBase | (addr & 0xfffff);
+        // The host-independence guarantee requires fallback accesses
+        // to stay inside one granule; wide or unaligned traffic
+        // belongs in a registered region (addRegion).
+        assert((addr & granuleMask) + size <= (1u << granuleShift) &&
+               "fallback access straddles a 16B granule; register the "
+               "buffer with addRegion()");
+        std::uint64_t granule = addr >> granuleShift;
+        auto [it, inserted] =
+            fallbackGranules_.try_emplace(granule, nextFallbackGranule_);
+        if (inserted)
+            ++nextFallbackGranule_;
+        return (it->second << granuleShift) | (addr & granuleMask);
     }
 
   private:
+    static constexpr unsigned granuleShift = 4;
+    static constexpr std::uint64_t granuleMask =
+        (1ull << granuleShift) - 1;
+
     struct Region {
         std::uint64_t base;
         std::size_t size;
@@ -63,6 +94,8 @@ class AddrNormalizer : public TraceSink
 
     TraceSink *down_;
     std::vector<Region> regions_;
+    std::unordered_map<std::uint64_t, std::uint64_t> fallbackGranules_;
+    std::uint64_t nextFallbackGranule_ = fallbackBase >> granuleShift;
 };
 
 } // namespace uasim::trace

@@ -24,8 +24,9 @@ TEST(CabacTables, WellFormed)
         for (int q = 0; q < 4; ++q) {
             EXPECT_GE(t.lpsRange[s][q], 2);
             EXPECT_LT(t.lpsRange[s][q], 256);
-            if (q)
+            if (q) {
                 EXPECT_GE(t.lpsRange[s][q], t.lpsRange[s][q - 1]);
+            }
         }
         if (s) {
             // Higher state = more skewed = smaller LPS range.

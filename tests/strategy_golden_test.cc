@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Golden-vector tests for the Table I strategy layer: every
+ * RealignStrategy idiom, at every alignment offset 0..15, must load
+ * and store byte-exactly what memcpy would, at exactly the
+ * instruction budget strategyLoadInstrs/strategyStoreInstrs
+ * tabulates. Inputs are randomized but fixed-seed (video/rng.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trace/emitter.hh"
+#include "trace/sink.hh"
+#include "vmx/buffer.hh"
+#include "vmx/realign.hh"
+#include "vmx/strategies.hh"
+#include "video/rng.hh"
+
+using namespace uasim;
+using vmx::CPtr;
+using vmx::Ptr;
+using vmx::RealignStrategy;
+using vmx::Vec;
+
+namespace {
+
+constexpr int numStrategies = int(RealignStrategy::NumStrategies);
+
+struct Env {
+    trace::CountingSink sink;
+    trace::Emitter em{sink};
+    vmx::VecOps vo{em};
+};
+
+void
+fillRandom(vmx::AlignedBuffer &buf, std::uint32_t seed)
+{
+    video::Rng rng(seed);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = std::uint8_t(rng.below(256));
+}
+
+} // namespace
+
+/// (strategy, offset) grid, the whole Table I cross product.
+class StrategyGolden
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    RealignStrategy strat() const
+    {
+        return static_cast<RealignStrategy>(std::get<0>(GetParam()));
+    }
+    int offset() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(StrategyGolden, LoadIsByteExactVsMemcpy)
+{
+    Env env;
+    vmx::AlignedBuffer buf(128, unsigned(offset()));
+    fillRandom(buf, 0xA11CE000u + unsigned(offset()));
+
+    for (std::int64_t off : {std::int64_t{0}, std::int64_t{16},
+                             std::int64_t{37}}) {
+        std::uint8_t want[16];
+        std::memcpy(want, buf.data() + off, 16);
+        Vec got = vmx::strategyLoadU(env.vo, strat(), CPtr{buf.data()},
+                                     off);
+        for (int i = 0; i < 16; ++i) {
+            ASSERT_EQ(got.u8(i), want[i])
+                << vmx::strategyName(strat()) << " offset " << offset()
+                << " off " << off << " byte " << i;
+        }
+    }
+}
+
+TEST_P(StrategyGolden, LoadCostMatchesTableI)
+{
+    Env env;
+    vmx::AlignedBuffer buf(64, unsigned(offset()));
+    fillRandom(buf, 0xBEEF);
+    (void)vmx::strategyLoadU(env.vo, strat(), CPtr{buf.data()});
+    EXPECT_EQ(env.sink.mix().total(),
+              std::uint64_t(vmx::strategyLoadInstrs(strat())))
+        << vmx::strategyName(strat()) << " offset " << offset();
+}
+
+TEST_P(StrategyGolden, StoreIsByteExactVsMemcpy)
+{
+    Env env;
+    vmx::AlignedBuffer buf(128, unsigned(offset()));
+    vmx::AlignedBuffer want(128, unsigned(offset()));
+    fillRandom(buf, 0x57123u + unsigned(offset()));
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        want[i] = buf[i];
+
+    video::Rng rng(0xDA7A + unsigned(offset()));
+    Vec data;
+    for (int i = 0; i < 16; ++i)
+        data.b[i] = std::uint8_t(rng.below(256));
+
+    auto ctx = vmx::swStoreUPrologue(env.vo);
+    const std::int64_t off = 21;
+    std::memcpy(want.data() + off, data.b.data(), 16);
+    vmx::strategyStoreU(env.vo, strat(), ctx, data, Ptr{buf.data()},
+                        off);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        ASSERT_EQ(buf[i], want[i])
+            << vmx::strategyName(strat()) << " offset " << offset()
+            << " byte " << i;
+    }
+}
+
+TEST_P(StrategyGolden, StoreCostMatchesTableI)
+{
+    Env env;
+    vmx::AlignedBuffer buf(96, unsigned(offset()));
+    buf.fill(0);
+    Vec data;
+    for (int i = 0; i < 16; ++i)
+        data.b[i] = std::uint8_t(i);
+    auto ctx = vmx::swStoreUPrologue(env.vo);
+    auto before = env.sink.mix().total();
+    vmx::strategyStoreU(env.vo, strat(), ctx, data, Ptr{buf.data()}, 5);
+    EXPECT_EQ(env.sink.mix().total() - before,
+              std::uint64_t(vmx::strategyStoreInstrs(strat())))
+        << vmx::strategyName(strat()) << " offset " << offset();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, StrategyGolden,
+    ::testing::Combine(::testing::Range(0, numStrategies),
+                       ::testing::Range(0, 16)));
+
+TEST(StrategyGoldenMeta, EveryStrategyHasMetadata)
+{
+    for (int i = 0; i < numStrategies; ++i) {
+        auto s = static_cast<RealignStrategy>(i);
+        EXPECT_FALSE(vmx::strategyName(s).empty());
+        EXPECT_FALSE(vmx::strategyIsa(s).empty());
+        EXPECT_GE(vmx::strategyLoadInstrs(s), 1);
+        EXPECT_GE(vmx::strategyStoreInstrs(s), 1);
+    }
+}

@@ -193,8 +193,9 @@ TEST(McAlignment, Fig4Shapes)
     // Stores: destination offsets depend only on block position, so
     // only multiples of 4 occur, dominated by 0 (paper Fig 4(c)).
     for (int o = 0; o < 16; ++o) {
-        if (o % 4 != 0)
+        if (o % 4 != 0) {
             EXPECT_EQ(stats.lumaStore.counts[o], 0u) << o;
+        }
     }
     EXPECT_GT(stats.lumaStore.percent(0), 40.0);
 
