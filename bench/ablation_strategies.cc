@@ -5,13 +5,17 @@
  * three cores. This turns the paper's survey table into a kernel-level
  * what-if: how much of the lvxu win does a 3-instruction Cell-style
  * sequence already capture? How much does microcoded movdqu give up?
+ *
+ * Each strategy's kernel trace is recorded once and replayed into all
+ * three cores by the sweep engine; the instruction-count pass is a
+ * mix-only cell on a separate short trace.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "core/report.hh"
-#include "timing/pipeline.hh"
+#include "core/sweep.hh"
 #include "trace/addrmap.hh"
 #include "trace/emitter.hh"
 #include "video/frame.hh"
@@ -54,12 +58,29 @@ sadWithStrategy(vmx::ScalarOps &so, vmx::VecOps &vo,
     return int(so.loadS32(CPtr{sp}, 12).v);
 }
 
+/// Run @p execs MC-random SAD executions under @p strat.
+void
+runSadExecs(vmx::ScalarOps &so, vmx::VecOps &vo, RealignStrategy strat,
+            const video::Plane &cur, const video::Plane &ref, int execs)
+{
+    video::Rng rng(11);
+    for (int i = 0; i < execs; ++i) {
+        int bx = int(rng.range(24, 200));
+        int by = int(rng.range(24, 200));
+        int dx = int(rng.range(-20, 20));
+        int dy = int(rng.range(-20, 20));
+        sadWithStrategy(so, vo, strat, cur.pixel(bx, by), cur.stride(),
+                        ref.pixel(bx + dx, by + dy), ref.stride());
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
+    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Ablation: Table I strategies inside the SAD 16x16 "
                 "kernel ==\n(%d executions per point; cycles per "
                 "execution, +1/+2 network for\nhardware-unaligned "
@@ -75,6 +96,50 @@ main(int argc, char **argv)
         }
     }
 
+    const int countExecs = 32;
+    const int numStrats = int(RealignStrategy::NumStrategies);
+
+    core::SweepPlan plan;
+    for (int c = 0; c < 3; ++c) {
+        auto cfg = timing::CoreConfig::preset(c);
+        cfg.lat.unalignedLoadExtra = 1;
+        cfg.lat.unalignedStoreExtra = 2;
+        plan.addConfig(cfg.name, cfg);
+    }
+    // Per strategy: one short un-normalized trace for the instruction
+    // count (mix-only), and one normalized trace replayed into all
+    // three cores. Cell layout: strategy s occupies cells [s*4, s*4+4).
+    for (int si = 0; si < numStrats; ++si) {
+        auto strat = static_cast<RealignStrategy>(si);
+        std::string name{vmx::strategyName(strat)};
+        int mixT = plan.addTrace(
+            {"sad16/" + name + "/count",
+             [strat, &cur, &ref](trace::TraceSink &sink) {
+                 trace::Emitter em(sink);
+                 vmx::ScalarOps so(em);
+                 vmx::VecOps vo(em);
+                 runSadExecs(so, vo, strat, cur, ref, countExecs);
+             }});
+        plan.addCell(mixT, core::SweepCell::mixOnly);
+        int simT = plan.addTrace(
+            {"sad16/" + name + "/sim",
+             [strat, &cur, &ref, execs](trace::TraceSink &sink) {
+                 trace::AddrNormalizer norm(sink);
+                 norm.addRegion(cur.paddedBase(), cur.paddedSize(),
+                                0x10000000);
+                 norm.addRegion(ref.paddedBase(), ref.paddedSize(),
+                                0x12000000);
+                 trace::Emitter em(norm);
+                 vmx::ScalarOps so(em);
+                 vmx::VecOps vo(em);
+                 runSadExecs(so, vo, strat, cur, ref, execs);
+             }});
+        for (int c = 0; c < 3; ++c)
+            plan.addCell(simT, c);
+    }
+
+    auto results = core::SweepRunner(threads).run(plan);
+
     core::TextTable t;
     std::vector<std::string> head{"strategy", "instrs/exec"};
     for (int c = 0; c < 3; ++c)
@@ -82,57 +147,15 @@ main(int argc, char **argv)
                        timing::CoreConfig::presetNames[c]);
     t.header(head);
 
-    for (int si = 0; si < int(RealignStrategy::NumStrategies); ++si) {
+    for (int si = 0; si < numStrats; ++si) {
         auto strat = static_cast<RealignStrategy>(si);
         std::vector<std::string> cells{
             std::string(vmx::strategyName(strat))};
-
-        // Instruction count per execution.
-        {
-            trace::CountingSink sink;
-            trace::Emitter em(sink);
-            vmx::ScalarOps so(em);
-            vmx::VecOps vo(em);
-            video::Rng rng(11);
-            for (int i = 0; i < 32; ++i) {
-                int bx = int(rng.range(24, 200));
-                int by = int(rng.range(24, 200));
-                int dx = int(rng.range(-20, 20));
-                int dy = int(rng.range(-20, 20));
-                sadWithStrategy(so, vo, strat, cur.pixel(bx, by),
-                                cur.stride(),
-                                ref.pixel(bx + dx, by + dy),
-                                ref.stride());
-            }
-            cells.push_back(
-                std::to_string(sink.mix().total() / 32));
-        }
-
+        const int rowBase = si * 4;
+        cells.push_back(std::to_string(
+            results[rowBase].mix.total() / countExecs));
         for (int c = 0; c < 3; ++c) {
-            auto cfg = timing::CoreConfig::preset(c);
-            cfg.lat.unalignedLoadExtra = 1;
-            cfg.lat.unalignedStoreExtra = 2;
-            timing::PipelineSim sim(cfg);
-            trace::AddrNormalizer norm(sim);
-            norm.addRegion(cur.paddedBase(), cur.paddedSize(),
-                           0x10000000);
-            norm.addRegion(ref.paddedBase(), ref.paddedSize(),
-                           0x12000000);
-            trace::Emitter em(norm);
-            vmx::ScalarOps so(em);
-            vmx::VecOps vo(em);
-            video::Rng rng(11);
-            for (int i = 0; i < execs; ++i) {
-                int bx = int(rng.range(24, 200));
-                int by = int(rng.range(24, 200));
-                int dx = int(rng.range(-20, 20));
-                int dy = int(rng.range(-20, 20));
-                sadWithStrategy(so, vo, strat, cur.pixel(bx, by),
-                                cur.stride(),
-                                ref.pixel(bx + dx, by + dy),
-                                ref.stride());
-            }
-            auto res = sim.finalize();
+            const auto &res = results[rowBase + 1 + c].sim;
             cells.push_back(
                 core::fmt(double(res.cycles) / execs, 0));
         }

@@ -44,6 +44,17 @@ quickFlag(int argc, char **argv)
 }
 
 /**
+ * Sweep worker count ("--threads N"). The default 0 lets SweepRunner
+ * pick the hardware concurrency; results are byte-identical at any
+ * value (the runner's cell-ordered results are deterministic).
+ */
+inline int
+threadsFlag(int argc, char **argv)
+{
+    return intFlag(argc, argv, "--threads", 0);
+}
+
+/**
  * Workload-size flag with a --quick override: an explicit "--execs N"
  * wins, otherwise --quick selects @p quickDef (a tiny smoke-test
  * input), otherwise @p def (the paper-scale default).

@@ -10,12 +10,20 @@
  * invocation on the 4-way core, and stage time = counts x costs
  * (scaled to seconds at a nominal 2.0 GHz). "Others" is the
  * variant-invariant glue measured as a fixed share of the scalar run.
+ *
+ * Both halves run through the sweep engine in one plan: every stage
+ * microbenchmark of every variant is an independent trace cell on the
+ * 4-way+network core, and each sequence's functional decode is a
+ * mix-only job filling a per-sequence result slot.
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "decoder/codec.hh"
 #include "decoder/profile.hh"
 
@@ -28,6 +36,7 @@ main(int argc, char **argv)
     const int frames = bench::sizeFlag(argc, argv, "--frames", 4, 1);
     const int qp = bench::intFlag(argc, argv, "--qp", 34);
     const bool full = bench::boolFlag(argc, argv, "--full-res");
+    const int threads = bench::threadsFlag(argc, argv);
     const double hz = 2.0e9;
 
     // Functional decodes are cheap; default to CIF-ish size so the
@@ -40,23 +49,67 @@ main(int argc, char **argv)
                 "qp %d, 4-way core, %.1f GHz; seconds per run)\n\n",
                 res.width, res.height, frames, qp, hz / 1e9);
 
-    // Stage costs per variant (measured once, shared by sequences).
     auto core = timing::CoreConfig::fourWayOoO();
     core.lat.unalignedLoadExtra = 1;   // the proposed network
     core.lat.unalignedStoreExtra = 2;
+
+    const video::Content contents[] = {
+        video::Content::BlueSky, video::Content::Pedestrian,
+        video::Content::Riverbed, video::Content::RushHour};
+    const int numSeqs = int(std::size(contents));
+
+    // One plan: stage-cost cells (timed on the 4-way+network core)
+    // plus a mix-only functional-decode job per sequence.
+    core::SweepPlan plan;
+    int cfg4w = plan.addConfig("4w+net", core);
+    std::vector<dec::StageCostJob> jobs[3];
+    for (int v = 0; v < h264::numVariants; ++v) {
+        auto variant = static_cast<h264::Variant>(v);
+        jobs[v] = dec::stageCostJobs(variant);
+        for (const auto &job : jobs[v]) {
+            int t = plan.addTrace(
+                {std::string(h264::variantName(variant)) + "/" +
+                     job.key,
+                 job.record});
+            plan.addCell(t, cfg4w);
+        }
+    }
+    std::vector<StageCounts> seq_counts(numSeqs);
+    for (int i = 0; i < numSeqs; ++i) {
+        auto content = contents[i];
+        int t = plan.addTrace(
+            {std::string("decode/") +
+                 std::string(video::contentName(content)),
+             [&, i, content](trace::TraceSink &) {
+                 dec::CodecConfig cfg;
+                 cfg.seq = video::makeParams(content, res);
+                 cfg.qp = qp;
+                 cfg.frames = frames;
+                 dec::MiniEncoder enc(cfg);
+                 dec::MiniDecoder decd(cfg);
+                 for (int f = 0; f < frames; ++f)
+                     decd.decodeFrame(enc.encodeFrame(f),
+                                      seq_counts[i]);
+             }});
+        plan.addCell(t, core::SweepCell::mixOnly);
+    }
+
+    auto results = core::SweepRunner(threads).run(plan);
+
+    // Stage costs per variant, reassembled in plan cell order.
     dec::StageCosts costs[3];
-    for (int v = 0; v < h264::numVariants; ++v)
-        costs[v] = dec::measureStageCosts(
-            static_cast<h264::Variant>(v), core);
+    int cell = 0;
+    for (int v = 0; v < h264::numVariants; ++v) {
+        for (const auto &job : jobs[v]) {
+            job.assign(costs[v], double(results[cell].sim.cycles) /
+                                     job.divisor);
+            ++cell;
+        }
+    }
 
     core::TextTable t;
     t.header({"sequence", "variant", "MC", "IDCT", "Deb.Filter",
               "CABAC", "VideoOut", "Others", "TOTAL", "vs scalar"});
-
-    dec::StageCounts avg_counts;
-    const video::Content contents[] = {
-        video::Content::BlueSky, video::Content::Pedestrian,
-        video::Content::Riverbed, video::Content::RushHour};
 
     auto emit_rows = [&](const std::string &name,
                          const StageCounts &counts) {
@@ -88,18 +141,11 @@ main(int argc, char **argv)
         t.row({"", "", "", "", "", "", "", "", "", ""});
     };
 
-    for (auto content : contents) {
-        dec::CodecConfig cfg;
-        cfg.seq = video::makeParams(content, res);
-        cfg.qp = qp;
-        cfg.frames = frames;
-        dec::MiniEncoder enc(cfg);
-        dec::MiniDecoder decd(cfg);
-        StageCounts counts;
-        for (int f = 0; f < frames; ++f)
-            decd.decodeFrame(enc.encodeFrame(f), counts);
-        avg_counts += counts;
-        emit_rows(std::string(video::contentName(content)), counts);
+    dec::StageCounts avg_counts;
+    for (int i = 0; i < numSeqs; ++i) {
+        avg_counts += seq_counts[i];
+        emit_rows(std::string(video::contentName(contents[i])),
+                  seq_counts[i]);
     }
     emit_rows("AVG", avg_counts);
 

@@ -3,12 +3,17 @@
  * Fig 4 reproduction: distribution of (address % 16) for the luma and
  * chroma interpolation kernels' block load and store pointers, over
  * the 12 input profiles (4 contents x 3 resolutions).
+ *
+ * Each sequence's address walk is a mix-only sweep job (no timing
+ * cells), so the 12 collections shard over --threads workers while
+ * the per-sequence result slots keep the output order fixed.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "video/motion.hh"
 
 using namespace uasim;
@@ -43,20 +48,35 @@ int
 main(int argc, char **argv)
 {
     const int frames = bench::sizeFlag(argc, argv, "--frames", 8, 1);
+    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Fig 4: alignment offsets in H.264/AVC luma and "
                 "chroma interpolation ==\n(%d frames of MC block "
                 "addresses per sequence)\n\n",
                 frames);
 
+    const auto seqs = video::allSequenceParams();
+    std::vector<video::McAlignmentStats> stats(seqs.size());
+
+    core::SweepPlan plan;
+    for (int i = 0; i < int(seqs.size()); ++i) {
+        const auto &params = seqs[i];
+        int t = plan.addTrace(
+            {params.label(), [&stats, &params, frames, i](
+                                 trace::TraceSink &) {
+                 stats[i] = video::collectMcAlignment(params, frames);
+             }});
+        plan.addCell(t, core::SweepCell::mixOnly);
+    }
+    core::SweepRunner(threads).run(plan);
+
     std::vector<std::pair<std::string, AlignmentHistogram>> luma_ld,
         chroma_ld, luma_st, chroma_st;
-
-    for (const auto &params : video::allSequenceParams()) {
-        auto stats = video::collectMcAlignment(params, frames);
-        luma_ld.emplace_back(params.label(), stats.lumaLoad);
-        chroma_ld.emplace_back(params.label(), stats.chromaLoad);
-        luma_st.emplace_back(params.label(), stats.lumaStore);
-        chroma_st.emplace_back(params.label(), stats.chromaStore);
+    for (int i = 0; i < int(seqs.size()); ++i) {
+        const std::string label = seqs[i].label();
+        luma_ld.emplace_back(label, stats[i].lumaLoad);
+        chroma_ld.emplace_back(label, stats[i].chromaLoad);
+        luma_st.emplace_back(label, stats[i].lumaStore);
+        chroma_st.emplace_back(label, stats[i].chromaStore);
     }
 
     printPanel("Fig 4(a) luma load pointers", luma_ld);

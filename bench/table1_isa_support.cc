@@ -5,13 +5,17 @@
  * alignment offset, verify the result, and report the measured
  * instruction cost per unaligned load/store plus the simulated
  * latency of a dependent-load chain on the 4-way core.
+ *
+ * The dependent-chain simulations run as sweep cells: one recorded
+ * chain trace per strategy, simulated on the 4-way+network core,
+ * sharded over --threads workers.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "core/report.hh"
-#include "timing/pipeline.hh"
+#include "core/sweep.hh"
 #include "trace/addrmap.hh"
 #include "trace/emitter.hh"
 #include "vmx/buffer.hh"
@@ -23,34 +27,35 @@ using vmx::RealignStrategy;
 
 namespace {
 
-/// Cycles per unaligned load in a dependent chain under @p strat.
-double
-chainLatency(RealignStrategy strat)
-{
-    timing::CoreConfig cfg = timing::CoreConfig::fourWayOoO();
-    // The paper's proposed network: +1 cycle loads, +2 cycle stores.
-    cfg.lat.unalignedLoadExtra = 1;
-    cfg.lat.unalignedStoreExtra = 2;
-    timing::PipelineSim sim(cfg);
-    trace::AddrNormalizer norm(sim);
-    vmx::AlignedBuffer buf(4096, 5);
-    // Include the guard bands: forced-aligned lvx and the 32B-wide
-    // lddqu legitimately reach up to 16B outside the payload.
-    norm.addRegion(buf.data() - 16, buf.size() + 32, 0x10000000);
-    trace::Emitter em(norm);
-    vmx::VecOps vo(em);
-    vmx::ScalarOps so(em);
+/// Chain length of the dependent-load latency measurement.
+constexpr int chainLen = 400;
 
-    const int n = 400;
-    vmx::CPtr p = so.lip(buf.data());
-    trace::Dep chain{};
-    for (int i = 0; i < n; ++i) {
-        vmx::CPtr q{p.p + 16 * (i % 64), chain};
-        vmx::Vec v = vmx::strategyLoadU(vo, strat, q, 1);
-        chain = v.dep;  // serialize: next load depends on this result
-    }
-    auto res = sim.finalize();
-    return double(res.cycles) / n;
+/// TraceJob recording a @c chainLen dependent-load chain under @p strat.
+core::TraceJob
+chainTraceJob(RealignStrategy strat)
+{
+    return {std::string("chain/") + std::string(vmx::strategyName(strat)),
+            [strat](trace::TraceSink &sink) {
+                trace::AddrNormalizer norm(sink);
+                vmx::AlignedBuffer buf(4096, 5);
+                // Include the guard bands: forced-aligned lvx and the
+                // 32B-wide lddqu legitimately reach up to 16B outside
+                // the payload.
+                norm.addRegion(buf.data() - 16, buf.size() + 32,
+                               0x10000000);
+                trace::Emitter em(norm);
+                vmx::VecOps vo(em);
+                vmx::ScalarOps so(em);
+
+                vmx::CPtr p = so.lip(buf.data());
+                trace::Dep chain{};
+                for (int i = 0; i < chainLen; ++i) {
+                    vmx::CPtr q{p.p + 16 * (i % 64), chain};
+                    vmx::Vec v = vmx::strategyLoadU(vo, strat, q, 1);
+                    chain = v.dep;  // serialize: next load depends on
+                                    // this result
+                }
+            }};
 }
 
 } // namespace
@@ -58,18 +63,35 @@ chainLatency(RealignStrategy strat)
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Table I: support for unaligned loads in different "
                 "platforms ==\n");
     std::printf("(instruction counts measured from the emitted idioms; "
                 "latency is a\n simulated dependent-load chain on the "
                 "4-way core, +1/+2 network)\n\n");
 
+    const int numStrats = int(RealignStrategy::NumStrategies);
+
+    core::SweepPlan plan;
+    {
+        timing::CoreConfig cfg = timing::CoreConfig::fourWayOoO();
+        // The paper's proposed network: +1 cycle loads, +2 cycle
+        // stores.
+        cfg.lat.unalignedLoadExtra = 1;
+        cfg.lat.unalignedStoreExtra = 2;
+        int c = plan.addConfig("4w+net", cfg);
+        for (int i = 0; i < numStrats; ++i) {
+            int t = plan.addTrace(
+                chainTraceJob(static_cast<RealignStrategy>(i)));
+            plan.addCell(t, c);
+        }
+    }
+    auto results = core::SweepRunner(threads).run(plan);
+
     core::TextTable t;
     t.header({"ISA / extension", "idiom", "ld instrs", "st instrs",
               "chain cyc/load"});
-    for (int i = 0; i < int(RealignStrategy::NumStrategies); ++i) {
+    for (int i = 0; i < numStrats; ++i) {
         auto s = static_cast<RealignStrategy>(i);
 
         // Verify the idiom over all offsets before reporting it.
@@ -87,12 +109,13 @@ main(int argc, char **argv)
                 ok &= v.u8(k) == buf[k];
         }
 
+        double chain_cyc = double(results[i].sim.cycles) / chainLen;
         t.row({std::string(vmx::strategyIsa(s)),
                std::string(vmx::strategyName(s)) +
                    (ok ? "" : "  (BROKEN)"),
                std::to_string(vmx::strategyLoadInstrs(s)),
                std::to_string(vmx::strategyStoreInstrs(s)),
-               core::fmt(chainLatency(s), 1)});
+               core::fmt(chain_cyc, 1)});
     }
     std::printf("%s\n", t.str().c_str());
     std::printf("Paper reference: Altivec needs lvsl+2xlvx+vperm (4), "

@@ -1,11 +1,14 @@
 /**
  * @file
- * Table II reproduction: the three simulated processor configurations.
+ * Table II reproduction: the three simulated processor configurations,
+ * registered as a SweepPlan config axis (the same declarative registry
+ * the simulating benches sweep over) and printed from the plan.
  */
 
 #include <cstdio>
 
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "timing/config.hh"
 
 using namespace uasim;
@@ -18,13 +21,16 @@ main()
     core::TextTable t;
     t.header({"parameter", "2-way", "4-way", "8-way"});
 
-    timing::CoreConfig c[3] = {timing::CoreConfig::twoWayInOrder(),
-                               timing::CoreConfig::fourWayOoO(),
-                               timing::CoreConfig::eightWayOoO()};
+    core::SweepPlan plan;
+    plan.addConfig("2-way", timing::CoreConfig::twoWayInOrder());
+    plan.addConfig("4-way", timing::CoreConfig::fourWayOoO());
+    plan.addConfig("8-way", timing::CoreConfig::eightWayOoO());
+    const auto &c = plan.configs();
 
     auto row3 = [&](const char *name, auto get) {
-        t.row({name, std::to_string(get(c[0])),
-               std::to_string(get(c[1])), std::to_string(get(c[2]))});
+        t.row({name, std::to_string(get(c[0].cfg)),
+               std::to_string(get(c[1].cfg)),
+               std::to_string(get(c[2].cfg))});
     };
 
     t.row({"issue policy", "in-order", "out-of-order", "out-of-order"});
@@ -46,7 +52,7 @@ main()
     row3("D$ write ports", [](auto &x) { return x.dWritePorts; });
     row3("max outstanding misses", [](auto &x) { return x.missMax; });
 
-    const auto &m = c[0].mem;
+    const auto &m = c[0].cfg.mem;
     t.row({"L1-D", std::to_string(m.l1d.size / 1024) + "KB/" +
                        std::to_string(m.l1d.assoc) + "way/" +
                        std::to_string(m.l1d.lineSize) + "B",

@@ -1,0 +1,35 @@
+# Thread-count parity check for a sweep-ported bench: run the binary's
+# --quick path at --threads 1 and --threads 4 and require byte-for-byte
+# identical stdout (the SweepRunner's cell-ordered results make any
+# scheduling dependence a hard failure).
+#
+# Usage: cmake -DBENCH=<path-to-binary> -P BenchParity.cmake
+
+if(NOT BENCH)
+    message(FATAL_ERROR "BenchParity.cmake: pass -DBENCH=<binary>")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} --quick --threads 1
+    OUTPUT_VARIABLE out_one
+    RESULT_VARIABLE rc_one)
+execute_process(
+    COMMAND ${BENCH} --quick --threads 4
+    OUTPUT_VARIABLE out_four
+    RESULT_VARIABLE rc_four)
+
+if(NOT rc_one EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --quick --threads 1 exited ${rc_one}")
+endif()
+if(NOT rc_four EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --quick --threads 4 exited ${rc_four}")
+endif()
+
+if(NOT out_one STREQUAL out_four)
+    message(FATAL_ERROR
+        "${BENCH}: stdout differs between --threads 1 and --threads 4\n"
+        "--- threads 1 ---\n${out_one}\n"
+        "--- threads 4 ---\n${out_four}")
+endif()
+
+message(STATUS "${BENCH}: --threads 1 and --threads 4 output identical")

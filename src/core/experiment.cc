@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/sweep.hh"
 #include "h264/chroma_kernels.hh"
 #include "h264/chroma_ref.hh"
 #include "h264/idct_kernels.hh"
@@ -27,6 +28,12 @@ KernelSpec::name() const
     if (matrix)
         n += "_matrix";
     return n;
+}
+
+bool
+KernelSpec::traceStateInvariant(Variant variant) const
+{
+    return !(kernel == KernelId::Idct && variant == Variant::Scalar);
 }
 
 std::vector<KernelSpec>
@@ -135,6 +142,18 @@ KernelBench::KernelBench(const KernelSpec &spec, std::uint64_t seed)
 
 KernelBench::~KernelBench() = default;
 
+std::uint64_t
+KernelBench::seed() const
+{
+    return impl_->seed;
+}
+
+TraceJob
+KernelBench::traceJob(Variant variant, int execs) const
+{
+    return kernelTraceJob(spec_, variant, execs, impl_->seed);
+}
+
 void
 KernelBench::runOnce(KernelCtx &ctx, Variant variant, int iter)
 {
@@ -211,16 +230,25 @@ KernelBench::countInstrs(Variant variant, int execs)
     return sink.mix();
 }
 
-timing::SimResult
-KernelBench::simulate(Variant variant, const timing::CoreConfig &cfg,
-                      int execs)
+void
+KernelBench::advanceState(Variant variant, int execs)
+{
+    trace::NullSink sink;
+    trace::Emitter em(sink);
+    KernelCtx ctx(em);
+    for (int i = 0; i < execs; ++i)
+        runOnce(ctx, variant, i);
+}
+
+void
+KernelBench::recordTrace(Variant variant, int execs,
+                         trace::TraceSink &sink)
 {
     Impl &im = *impl_;
-    timing::PipelineSim sim(cfg);
     // Rebase buffer addresses onto fixed virtual bases so cache
     // behaviour (and therefore cycle counts) cannot depend on host
     // allocator placement.
-    trace::AddrNormalizer norm(sim);
+    trace::AddrNormalizer norm(sink);
     norm.addRegion(im.src.paddedBase(), im.src.paddedSize(),
                    0x10000000);
     norm.addRegion(im.dst.paddedBase(), im.dst.paddedSize(),
@@ -233,6 +261,14 @@ KernelBench::simulate(Variant variant, const timing::CoreConfig &cfg,
     KernelCtx ctx(em);
     for (int i = 0; i < execs; ++i)
         runOnce(ctx, variant, i);
+}
+
+timing::SimResult
+KernelBench::simulate(Variant variant, const timing::CoreConfig &cfg,
+                      int execs)
+{
+    timing::PipelineSim sim(cfg);
+    recordTrace(variant, execs, sim);
     return sim.finalize();
 }
 

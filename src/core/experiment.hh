@@ -22,10 +22,13 @@
 #include "h264/kernels.hh"
 #include "timing/pipeline.hh"
 #include "trace/mix.hh"
+#include "trace/sink.hh"
 #include "video/frame.hh"
 #include "video/rng.hh"
 
 namespace uasim::core {
+
+struct TraceJob;  // core/sweep.hh
 
 /// One benchmarked kernel configuration (a Table III / Fig 8 row).
 struct KernelSpec {
@@ -35,6 +38,19 @@ struct KernelSpec {
 
     /// Display name, e.g. "luma16x16", "idct4x4_matrix".
     std::string name() const;
+
+    /**
+     * True when the dynamic trace of @p variant on this spec is
+     * independent of the bench's accumulated plane state, i.e. a
+     * recording on a fresh bench is bit-identical to one taken after
+     * any number of prior executions on the same bench. Only the
+     * scalar IDCT is state-sensitive: it reads the reconstruction
+     * plane back and clips through a value-indexed table, so its
+     * load addresses depend on what earlier calls wrote. Every other
+     * kernel/variant reads only never-written planes (MC/SAD
+     * sources) or runs value-independent vector code.
+     */
+    bool traceStateInvariant(h264::Variant variant) const;
 };
 
 /// The kernel/size grid of the paper's evaluation (Fig 8 order).
@@ -59,6 +75,7 @@ class KernelBench
     KernelBench &operator=(const KernelBench &) = delete;
 
     const KernelSpec &spec() const { return spec_; }
+    std::uint64_t seed() const;
 
     /// Run execution @p iter (deterministic per iter) under @p variant.
     void runOnce(h264::KernelCtx &ctx, h264::Variant variant, int iter);
@@ -66,9 +83,34 @@ class KernelBench
     /// Dynamic instruction mix over @p execs executions.
     trace::InstrMix countInstrs(h264::Variant variant, int execs);
 
+    /**
+     * Advance the bench state by @p execs executions of @p variant
+     * without tracing. Kernel outputs are bit-exact across variants
+     * (verifyVariants / kernel_equivalence_test lock this), so
+     * advancing with any variant reproduces the plane state a
+     * shared-bench measurement sequence left behind, call for call.
+     */
+    void advanceState(h264::Variant variant, int execs);
+
+    /**
+     * Stream the address-normalized trace of @p execs executions of
+     * @p variant into @p sink. This is the capture half of simulate():
+     * replaying the recorded stream into a PipelineSim yields exactly
+     * the result simulate() returns for the same bench state.
+     */
+    void recordTrace(h264::Variant variant, int execs,
+                     trace::TraceSink &sink);
+
     /// Simulated execution of @p execs executions on @p cfg.
     timing::SimResult simulate(h264::Variant variant,
                                const timing::CoreConfig &cfg, int execs);
+
+    /**
+     * Sweep adapter: a self-contained TraceJob that records @p execs
+     * executions of @p variant on a fresh bench with this bench's
+     * spec and seed (equivalent to kernelTraceJob in core/sweep.hh).
+     */
+    TraceJob traceJob(h264::Variant variant, int execs) const;
 
     /**
      * Functional check: run one execution per variant on identical

@@ -1,0 +1,272 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "timing/pipeline.hh"
+#include "trace/trace_buffer.hh"
+
+namespace uasim::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Cells of one trace, prepartitioned (the runner's work unit).
+struct TraceGroup {
+    int trace = 0;
+    std::vector<int> cellIndices;
+};
+
+} // namespace
+
+int
+SweepPlan::addTrace(TraceJob job)
+{
+    auto [it, inserted] =
+        traceIndex_.try_emplace(job.key, int(traces_.size()));
+    if (inserted)
+        traces_.push_back(std::move(job));
+    return it->second;
+}
+
+int
+SweepPlan::addConfig(std::string label, timing::CoreConfig cfg)
+{
+    configs_.push_back({std::move(label), std::move(cfg)});
+    return int(configs_.size()) - 1;
+}
+
+void
+SweepPlan::addCell(int trace, int config)
+{
+    cells_.push_back({trace, config});
+}
+
+void
+SweepPlan::crossProduct()
+{
+    for (int t = 0; t < int(traces_.size()); ++t) {
+        for (int c = 0; c < int(configs_.size()); ++c)
+            addCell(t, c);
+    }
+}
+
+SweepRunner::SweepRunner(int threads)
+{
+    if (threads <= 0) {
+        threads = int(std::thread::hardware_concurrency());
+        if (threads <= 0)
+            threads = 1;
+    }
+    threads_ = threads;
+}
+
+std::vector<SweepCellResult>
+SweepRunner::run(const SweepPlan &plan)
+{
+    const auto wallStart = Clock::now();
+    stats_ = SweepStats{};
+
+    // Partition cells into per-trace groups, preserving plan order
+    // within each group.
+    std::vector<TraceGroup> groups(plan.traces().size());
+    for (int t = 0; t < int(groups.size()); ++t)
+        groups[t].trace = t;
+    for (int i = 0; i < int(plan.cells().size()); ++i)
+        groups[plan.cells()[i].trace].cellIndices.push_back(i);
+    std::erase_if(groups, [](const TraceGroup &g) {
+        return g.cellIndices.empty();
+    });
+
+    std::vector<SweepCellResult> results(plan.cells().size());
+
+    struct WorkerTotals {
+        std::uint64_t recorded = 0, replayed = 0, traces = 0,
+                      cells = 0;
+        double recordSec = 0, replaySec = 0, streamSec = 0;
+    };
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> abortRun{false};
+    std::mutex totalsMutex;
+    WorkerTotals totals;
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    auto worker = [&]() {
+        WorkerTotals local;
+        try {
+            for (;;) {
+                // Stop the whole pool at the first failure instead of
+                // draining (and then discarding) the remaining groups.
+                if (abortRun.load(std::memory_order_relaxed))
+                    break;
+                std::size_t gi =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (gi >= groups.size())
+                    break;
+                const TraceGroup &group = groups[gi];
+                const TraceJob &job = plan.traces()[group.trace];
+
+                int timingCells = 0;
+                for (int ci : group.cellIndices) {
+                    if (plan.cells()[ci].config != SweepCell::mixOnly)
+                        ++timingCells;
+                }
+
+                trace::InstrMix mix;
+                if (timingCells == 1) {
+                    // Single consumer: stream the emulation straight
+                    // into its simulator (replay equivalence makes
+                    // this bit-identical to the buffered path, minus
+                    // the buffer). The fused pass interleaves record
+                    // and replay work, so its time is accounted as
+                    // streamSeconds - not recordSeconds - and its
+                    // instructions count as both recorded and
+                    // replayed, keeping the instruction totals
+                    // identical to the buffered path's.
+                    int simCi = -1;
+                    for (int ci : group.cellIndices) {
+                        if (plan.cells()[ci].config !=
+                            SweepCell::mixOnly) {
+                            simCi = ci;
+                            break;
+                        }
+                    }
+                    const auto &cfgJob =
+                        plan.configs()[plan.cells()[simCi].config];
+                    auto t0 = Clock::now();
+                    timing::PipelineSim sim(cfgJob.cfg);
+                    trace::CountingSink counter;
+                    trace::TeeSink tee(counter, sim);
+                    job.record(tee);
+                    auto &res = results[simCi];
+                    res.sim = sim.finalize();
+                    mix = counter.mix();
+                    local.streamSec += secondsSince(t0);
+                    local.recorded += mix.total();
+                    local.replayed += mix.total();
+                } else if (timingCells == 0) {
+                    auto t0 = Clock::now();
+                    trace::CountingSink counter;
+                    job.record(counter);
+                    mix = counter.mix();
+                    local.recordSec += secondsSince(t0);
+                    local.recorded += mix.total();
+                } else {
+                    trace::TraceBuffer buffer;
+                    auto t0 = Clock::now();
+                    job.record(buffer);
+                    mix = buffer.mix();
+                    local.recordSec += secondsSince(t0);
+                    local.recorded += buffer.size();
+                    auto t1 = Clock::now();
+                    for (int ci : group.cellIndices) {
+                        const SweepCell &cell = plan.cells()[ci];
+                        if (cell.config == SweepCell::mixOnly)
+                            continue;
+                        timing::PipelineSim sim(
+                            plan.configs()[cell.config].cfg);
+                        buffer.replayInto(sim);
+                        results[ci].sim = sim.finalize();
+                        local.replayed += buffer.size();
+                    }
+                    local.replaySec += secondsSince(t1);
+                }
+
+                for (int ci : group.cellIndices) {
+                    const SweepCell &cell = plan.cells()[ci];
+                    auto &res = results[ci];
+                    res.traceKey = job.key;
+                    if (cell.config != SweepCell::mixOnly) {
+                        res.configLabel =
+                            plan.configs()[cell.config].label;
+                    }
+                    res.mix = mix;
+                    res.traceInstrs = mix.total();
+                    ++local.cells;
+                }
+                ++local.traces;
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            abortRun.store(true, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(totalsMutex);
+        totals.recorded += local.recorded;
+        totals.replayed += local.replayed;
+        totals.traces += local.traces;
+        totals.cells += local.cells;
+        totals.recordSec += local.recordSec;
+        totals.replaySec += local.replaySec;
+        totals.streamSec += local.streamSec;
+    };
+
+    int poolSize = std::min<int>(threads_, int(groups.size()));
+    if (poolSize <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(poolSize);
+        for (int i = 0; i < poolSize; ++i)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    stats_.threads = std::max(1, poolSize);
+    stats_.tracesRecorded = totals.traces;
+    stats_.cellsRun = totals.cells;
+    stats_.instrsRecorded = totals.recorded;
+    stats_.instrsReplayed = totals.replayed;
+    stats_.recordSeconds = totals.recordSec;
+    stats_.replaySeconds = totals.replaySec;
+    stats_.streamSeconds = totals.streamSec;
+    stats_.wallSeconds = secondsSince(wallStart);
+    return results;
+}
+
+TraceJob
+kernelTraceJob(const KernelSpec &spec, h264::Variant variant,
+               int execs, std::uint64_t seed, int warmupCalls)
+{
+    std::string key = spec.name();
+    key += '/';
+    key += h264::variantName(variant);
+    key += '/';
+    key += std::to_string(execs);
+    key += '/';
+    key += std::to_string(seed);
+    if (warmupCalls > 0) {
+        key += "/w";
+        key += std::to_string(warmupCalls);
+    }
+    return {std::move(key), [spec, variant, execs, seed, warmupCalls](
+                                trace::TraceSink &sink) {
+                KernelBench bench(spec, seed);
+                for (int k = 0; k < warmupCalls; ++k)
+                    bench.advanceState(variant, execs);
+                bench.recordTrace(variant, execs, sink);
+            }};
+}
+
+} // namespace uasim::core

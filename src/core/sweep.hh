@@ -1,0 +1,182 @@
+/**
+ * @file
+ * SweepPlan / SweepRunner: the declarative record-once/replay-many
+ * experiment grid.
+ *
+ * A plan names a set of trace jobs (anything that can emit an
+ * address-normalized record stream: a KernelBench variant, a custom
+ * strategy loop, a decoder-stage microbenchmark) and a set of core
+ * configurations, plus the cells of the grid to evaluate. The runner
+ * records each referenced trace exactly once (keyed cache), replays
+ * it into a fresh PipelineSim per cell, and shards the work across a
+ * thread pool. Results land in cell order regardless of scheduling,
+ * so reports are byte-identical from 1 thread to N.
+ *
+ * Exactness: replaying a recorded trace into PipelineSim is
+ * bit-identical to streaming the emulation straight into the model
+ * (tests/sweep_test.cc locks this), so a sweep produces exactly the
+ * simulated cycles the hand-rolled per-cell loops did - it just
+ * emulates each unique trace once instead of once per cell.
+ */
+
+#ifndef UASIM_CORE_SWEEP_HH
+#define UASIM_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "timing/config.hh"
+#include "timing/results.hh"
+#include "trace/mix.hh"
+#include "trace/sink.hh"
+
+namespace uasim::core {
+
+/**
+ * One recordable workload. @p record must be self-contained and
+ * deterministic: it builds its own emulation state (planes, emitter,
+ * AddrNormalizer) and streams the normalized records into the sink,
+ * so the runner can invoke it from any worker thread.
+ */
+struct TraceJob {
+    std::string key;  //!< unique identity; the trace-cache key
+    std::function<void(trace::TraceSink &)> record;
+};
+
+/// One timing configuration of the grid.
+struct ConfigJob {
+    std::string label;
+    timing::CoreConfig cfg;
+};
+
+/**
+ * One grid point: simulate trace @p trace on configuration
+ * @p config, or - with config == mixOnly - just record the trace's
+ * instruction mix (a Table III style cell).
+ */
+struct SweepCell {
+    static constexpr int mixOnly = -1;
+
+    int trace = 0;
+    int config = mixOnly;
+};
+
+/// Declarative sweep description.
+class SweepPlan
+{
+  public:
+    /**
+     * Register a trace job; jobs with a key already in the plan are
+     * deduplicated (the trace cache key), so callers can mechanically
+     * re-add the same workload per grid axis.
+     * @return the trace index for addCell().
+     */
+    int addTrace(TraceJob job);
+
+    /// Register a core configuration. @return its index.
+    int addConfig(std::string label, timing::CoreConfig cfg);
+
+    /// Add one grid point (config index, or SweepCell::mixOnly).
+    void addCell(int trace, int config);
+
+    /// Add the full traces x configs cross product.
+    void crossProduct();
+
+    const std::vector<TraceJob> &traces() const { return traces_; }
+    const std::vector<ConfigJob> &configs() const { return configs_; }
+    const std::vector<SweepCell> &cells() const { return cells_; }
+
+  private:
+    std::vector<TraceJob> traces_;
+    std::vector<ConfigJob> configs_;
+    std::vector<SweepCell> cells_;
+    std::unordered_map<std::string, int> traceIndex_;
+};
+
+/// Outcome of one grid point, in plan cell order.
+struct SweepCellResult {
+    std::string traceKey;
+    std::string configLabel;  //!< empty for mix-only cells
+    timing::SimResult sim;    //!< zeroed for mix-only cells
+    trace::InstrMix mix;      //!< mix of the recorded trace
+    std::uint64_t traceInstrs = 0;
+};
+
+/**
+ * Aggregate runner statistics (for BENCH_*.json artifacts).
+ *
+ * Invariants, independent of thread count and of which execution path
+ * a group took: instrsRecorded is the summed length of every unique
+ * trace (each recorded exactly once), and instrsReplayed is the
+ * summed trace length over all timing cells - a group whose single
+ * timing cell is streamed directly still accounts its instructions as
+ * replayed. Time is split three ways: pure record passes
+ * (recordSeconds), pure buffer-replay passes (replaySeconds), and
+ * fused single-consumer record+simulate passes (streamSeconds).
+ */
+struct SweepStats {
+    int threads = 0;
+    std::uint64_t tracesRecorded = 0;
+    std::uint64_t cellsRun = 0;
+    std::uint64_t instrsRecorded = 0;  //!< emulated records, all traces
+    std::uint64_t instrsReplayed = 0;  //!< records fed to timing sims
+    double recordSeconds = 0;  //!< pure record passes, summed across workers
+    double replaySeconds = 0;  //!< buffer-replay passes, summed across workers
+    double streamSeconds = 0;  //!< fused record+simulate fast-path passes
+    double wallSeconds = 0;
+};
+
+/**
+ * Executes a SweepPlan.
+ *
+ * Work unit = one trace group (a trace plus all cells that reference
+ * it): the worker records the trace once, replays it into every
+ * cell's simulator, frees the buffer, and moves on. Groups are
+ * sharded over the pool with an atomic cursor; results are written
+ * into preallocated cell slots, so output order is deterministic and
+ * thread-count independent.
+ */
+class SweepRunner
+{
+  public:
+    /// @param threads worker count; 0 = hardware concurrency.
+    explicit SweepRunner(int threads = 0);
+
+    /// Run the plan. @return per-cell results in plan cell order.
+    std::vector<SweepCellResult> run(const SweepPlan &plan);
+
+    /// Statistics of the most recent run().
+    const SweepStats &stats() const { return stats_; }
+
+    int threads() const { return threads_; }
+
+  private:
+    int threads_;
+    SweepStats stats_;
+};
+
+/**
+ * TraceJob for @p execs executions of a paper kernel variant
+ * (KernelBench::recordTrace on a freshly seeded bench; the key
+ * encodes spec/variant/execs/seed and, when nonzero, warmupCalls).
+ *
+ * @p warmupCalls reproduces shared-bench measurement history: the
+ * bench is first advanced by that many untraced calls of @p execs
+ * executions each, so the recording matches the trace a hand-rolled
+ * grid loop would have produced at that call position. Kernel outputs
+ * are bit-exact across variants, so warming up with the job's own
+ * variant reproduces the state of any interleaved-variant history of
+ * the same call count. Only needed when
+ * KernelSpec::traceStateInvariant(variant) is false.
+ */
+TraceJob kernelTraceJob(const KernelSpec &spec, h264::Variant variant,
+                        int execs, std::uint64_t seed = 12345,
+                        int warmupCalls = 0);
+
+} // namespace uasim::core
+
+#endif // UASIM_CORE_SWEEP_HH

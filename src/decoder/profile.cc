@@ -22,11 +22,11 @@ namespace {
 constexpr int planeDim = 192;
 constexpr int reps = 24;
 
-/// Measurement fixture: padded planes plus a sim-backed kernel ctx.
+/// Measurement fixture: padded planes streaming into any trace sink.
 struct Fixture {
-    explicit Fixture(const timing::CoreConfig &cfg, std::uint64_t seed)
-        : sim(cfg), norm(sim), src(planeDim, planeDim),
-          dst(planeDim, planeDim), rng(seed)
+    explicit Fixture(trace::TraceSink &sink, std::uint64_t seed)
+        : norm(sink), src(planeDim, planeDim), dst(planeDim, planeDim),
+          rng(seed)
     {
         norm.addRegion(src.paddedBase(), src.paddedSize(), 0x10000000);
         norm.addRegion(dst.paddedBase(), dst.paddedSize(), 0x12000000);
@@ -41,13 +41,6 @@ struct Fixture {
         src.extendEdges();
     }
 
-    double
-    cyclesPer(int n)
-    {
-        return double(sim.finalize().cycles) / n;
-    }
-
-    timing::PipelineSim sim;
     trace::AddrNormalizer norm;
     std::optional<trace::Emitter> em;
     std::optional<KernelCtx> ctx;
@@ -77,138 +70,185 @@ alignedDst(Fixture &f, int size)
 
 } // namespace
 
-StageCosts
-measureStageCosts(Variant variant, const timing::CoreConfig &cfg)
+std::vector<StageCostJob>
+stageCostJobs(Variant variant)
 {
-    StageCosts costs;
+    std::vector<StageCostJob> jobs;
     const int sizes[3] = {16, 8, 4};
 
     // ---- Luma MC, per size and fractional position ----
     for (int si = 0; si < 3; ++si) {
         for (int frac = 0; frac < 16; ++frac) {
-            Fixture f(cfg, 0x1000 + si * 16 + frac);
-            for (int r = 0; r < reps; ++r) {
-                h264::lumaMc(*f.ctx, variant, randomSrc(f, sizes[si] + 8),
-                             f.src.stride(), alignedDst(f, sizes[si]),
-                             f.dst.stride(), sizes[si], sizes[si],
-                             frac & 3, frac >> 2);
-            }
-            costs.lumaMc[si][frac] = f.cyclesPer(reps);
+            const int size = sizes[si];
+            jobs.push_back(
+                {"luma" + std::to_string(size) + "_f" +
+                     std::to_string(frac),
+                 reps,
+                 [variant, si, frac, size](trace::TraceSink &sink) {
+                     Fixture f(sink, 0x1000 + si * 16 + frac);
+                     for (int r = 0; r < reps; ++r) {
+                         h264::lumaMc(*f.ctx, variant,
+                                      randomSrc(f, size + 8),
+                                      f.src.stride(),
+                                      alignedDst(f, size),
+                                      f.dst.stride(), size, size,
+                                      frac & 3, frac >> 2);
+                     }
+                 },
+                 [si, frac](StageCosts &c, double v) {
+                     c.lumaMc[si][frac] = v;
+                 }});
         }
     }
 
     // ---- Chroma MC: 8x8, 4x4 (vectorized), 2x2 (always scalar) ----
     const int csizes[3] = {8, 4, 2};
     for (int si = 0; si < 3; ++si) {
-        Fixture f(cfg, 0x2000 + si);
-        for (int r = 0; r < reps; ++r) {
-            int dx = 1 + int(f.rng.below(7));
-            int dy = int(f.rng.below(8));
-            if (csizes[si] == 2) {
-                h264::chromaMcScalar(*f.ctx, randomSrc(f, 16),
-                                     f.src.stride(),
-                                     alignedDst(f, csizes[si]),
-                                     f.dst.stride(), csizes[si], dx, dy);
-            } else {
-                h264::chromaMcKernel(*f.ctx, variant, randomSrc(f, 16),
-                                     f.src.stride(),
-                                     alignedDst(f, csizes[si]),
-                                     f.dst.stride(), csizes[si], dx, dy);
-            }
-        }
-        costs.chromaMc[si] = f.cyclesPer(reps);
+        const int csize = csizes[si];
+        jobs.push_back(
+            {"chroma" + std::to_string(csize), reps,
+             [variant, si, csize](trace::TraceSink &sink) {
+                 Fixture f(sink, 0x2000 + si);
+                 for (int r = 0; r < reps; ++r) {
+                     int dx = 1 + int(f.rng.below(7));
+                     int dy = int(f.rng.below(8));
+                     if (csize == 2) {
+                         h264::chromaMcScalar(*f.ctx, randomSrc(f, 16),
+                                              f.src.stride(),
+                                              alignedDst(f, csize),
+                                              f.dst.stride(), csize,
+                                              dx, dy);
+                     } else {
+                         h264::chromaMcKernel(*f.ctx, variant,
+                                              randomSrc(f, 16),
+                                              f.src.stride(),
+                                              alignedDst(f, csize),
+                                              f.dst.stride(), csize,
+                                              dx, dy);
+                     }
+                 }
+             },
+             [si](StageCosts &c, double v) { c.chromaMc[si] = v; }});
     }
-    {
-        // Zero-fraction chroma: plain copy through the luma copy path.
-        Fixture f(cfg, 0x2100);
-        for (int r = 0; r < reps; ++r) {
-            h264::lumaCopy(*f.ctx, variant, randomSrc(f, 16),
-                           f.src.stride(), alignedDst(f, 8),
-                           f.dst.stride(), 8, 8);
-        }
-        costs.chromaCopy = f.cyclesPer(reps);
-    }
+    jobs.push_back(
+        {"chroma_copy", reps,
+         [variant](trace::TraceSink &sink) {
+             // Zero-fraction chroma: plain copy through the luma
+             // copy path.
+             Fixture f(sink, 0x2100);
+             for (int r = 0; r < reps; ++r) {
+                 h264::lumaCopy(*f.ctx, variant, randomSrc(f, 16),
+                                f.src.stride(), alignedDst(f, 8),
+                                f.dst.stride(), 8, 8);
+             }
+         },
+         [](StageCosts &c, double v) { c.chromaCopy = v; }});
 
     // ---- IDCT 4x4 (per coded block) ----
-    {
-        Fixture f(cfg, 0x3000);
-        alignas(16) std::int16_t block[16];
-        for (int r = 0; r < reps * 4; ++r) {
-            for (auto &c : block)
-                c = std::int16_t(f.rng.range(-64, 64));
-            h264::idct4x4Add(*f.ctx, variant, alignedDst(f, 4),
-                             f.dst.stride(), block);
-        }
-        costs.idct4x4 = f.cyclesPer(reps * 4);
-    }
+    jobs.push_back(
+        {"idct4x4", reps * 4,
+         [variant](trace::TraceSink &sink) {
+             Fixture f(sink, 0x3000);
+             alignas(16) std::int16_t block[16];
+             for (int r = 0; r < reps * 4; ++r) {
+                 for (auto &c : block)
+                     c = std::int16_t(f.rng.range(-64, 64));
+                 h264::idct4x4Add(*f.ctx, variant, alignedDst(f, 4),
+                                  f.dst.stride(), block);
+             }
+         },
+         [](StageCosts &c, double v) { c.idct4x4 = v; }});
 
     // ---- Deblocking (scalar in every variant) ----
-    {
-        Fixture f(cfg, 0x4000);
-        for (int r = 0; r < reps; ++r) {
-            h264::deblockMacroblockScalar(*f.ctx, alignedDst(f, 16),
-                                          f.dst.stride(), 30,
-                                          (r & 3) == 0);
-        }
-        costs.deblockMb = f.cyclesPer(reps);
-    }
+    jobs.push_back(
+        {"deblock", reps,
+         [](trace::TraceSink &sink) {
+             Fixture f(sink, 0x4000);
+             for (int r = 0; r < reps; ++r) {
+                 h264::deblockMacroblockScalar(*f.ctx,
+                                               alignedDst(f, 16),
+                                               f.dst.stride(), 30,
+                                               (r & 3) == 0);
+             }
+         },
+         [](StageCosts &c, double v) { c.deblockMb = v; }});
 
     // ---- CABAC bin decode (scalar in every variant) ----
-    {
-        // Encode a synthetic bin stream, then decode it traced.
-        h264::CabacEncoder enc;
-        h264::CabacContext ectx[8];
-        video::Rng rng(0x5000);
-        const int nbins = 2000;
-        std::vector<int> ref_bins;
-        for (int i = 0; i < nbins; ++i) {
-            int c = int(rng.below(8));
-            int bin = rng.chance(0.3 + 0.05 * c) ? 1 : 0;
-            enc.encodeBin(ectx[c], bin);
-            ref_bins.push_back(c);
-        }
-        auto bits = enc.finish();
+    const int nbins = 2000;
+    jobs.push_back(
+        {"cabac", nbins,
+         [](trace::TraceSink &sink) {
+             // Encode a synthetic bin stream, then decode it traced.
+             h264::CabacEncoder enc;
+             h264::CabacContext ectx[8];
+             video::Rng rng(0x5000);
+             std::vector<int> ref_bins;
+             for (int i = 0; i < nbins; ++i) {
+                 int c = int(rng.below(8));
+                 int bin = rng.chance(0.3 + 0.05 * c) ? 1 : 0;
+                 enc.encodeBin(ectx[c], bin);
+                 ref_bins.push_back(c);
+             }
+             auto bits = enc.finish();
 
-        Fixture f(cfg, 0x5001);
-        // Register every buffer the traced decoder touches so the
-        // measured cost is identical across variants and runs.
-        f.norm.addRegion(bits.data(), bits.size(), 0x18000000);
-        TracedCabacDecoder dec(*f.ctx, bits.data(), bits.size(), 8);
-        f.norm.addRegion(dec.tableData(), dec.tableSize(), 0x18100000);
-        f.norm.addRegion(dec.ctxData(), dec.ctxSize(), 0x18200000);
-        for (int i = 0; i < nbins; ++i)
-            dec.decodeBin(ref_bins[i]);
-        costs.cabacBin = f.cyclesPer(nbins);
-    }
+             Fixture f(sink, 0x5001);
+             // Register every buffer the traced decoder touches so
+             // the measured cost is identical across variants and
+             // runs.
+             f.norm.addRegion(bits.data(), bits.size(), 0x18000000);
+             TracedCabacDecoder dec(*f.ctx, bits.data(), bits.size(),
+                                    8);
+             f.norm.addRegion(dec.tableData(), dec.tableSize(),
+                              0x18100000);
+             f.norm.addRegion(dec.ctxData(), dec.ctxSize(),
+                              0x18200000);
+             for (int i = 0; i < nbins; ++i)
+                 dec.decodeBin(ref_bins[i]);
+         },
+         [](StageCosts &c, double v) { c.cabacBin = v; }});
 
     // ---- Video out (aligned frame copy) ----
-    {
-        Fixture f(cfg, 0x6000);
-        const int bytes = 128 * 64;
-        auto &s = f.ctx->so;
-        auto &v = f.ctx->vo;
-        if (variant == Variant::Scalar) {
-            vmx::CPtr sp = s.lip(f.src.pixel(0, 0));
-            vmx::Ptr dp = s.lip(f.dst.pixel(0, 0));
-            for (int off = 0; off < bytes; off += 8) {
-                vmx::SInt w = s.loadS64(sp, off);
-                s.storeU64(dp, off, w);
-                if ((off & 63) == 56)
-                    s.loopBranch(off + 8 < bytes);
-            }
-        } else {
-            vmx::CPtr sp = s.lip(f.src.pixel(0, 0));
-            vmx::Ptr dp = s.lip(f.dst.pixel(0, 0));
-            for (int off = 0; off < bytes; off += 16) {
-                vmx::Vec w = v.lvx(sp, off);
-                v.stvx(w, dp, off);
-                if ((off & 63) == 48)
-                    s.loopBranch(off + 16 < bytes);
-            }
-        }
-        costs.videoOutByte = f.cyclesPer(bytes);
-    }
+    const int bytes = 128 * 64;
+    jobs.push_back(
+        {"video_out", bytes,
+         [variant](trace::TraceSink &sink) {
+             Fixture f(sink, 0x6000);
+             auto &s = f.ctx->so;
+             auto &v = f.ctx->vo;
+             if (variant == Variant::Scalar) {
+                 vmx::CPtr sp = s.lip(f.src.pixel(0, 0));
+                 vmx::Ptr dp = s.lip(f.dst.pixel(0, 0));
+                 for (int off = 0; off < bytes; off += 8) {
+                     vmx::SInt w = s.loadS64(sp, off);
+                     s.storeU64(dp, off, w);
+                     if ((off & 63) == 56)
+                         s.loopBranch(off + 8 < bytes);
+                 }
+             } else {
+                 vmx::CPtr sp = s.lip(f.src.pixel(0, 0));
+                 vmx::Ptr dp = s.lip(f.dst.pixel(0, 0));
+                 for (int off = 0; off < bytes; off += 16) {
+                     vmx::Vec w = v.lvx(sp, off);
+                     v.stvx(w, dp, off);
+                     if ((off & 63) == 48)
+                         s.loopBranch(off + 16 < bytes);
+                 }
+             }
+         },
+         [](StageCosts &c, double v) { c.videoOutByte = v; }});
 
+    return jobs;
+}
+
+StageCosts
+measureStageCosts(Variant variant, const timing::CoreConfig &cfg)
+{
+    StageCosts costs;
+    for (const auto &job : stageCostJobs(variant)) {
+        timing::PipelineSim sim(cfg);
+        job.record(sim);
+        job.assign(costs, double(sim.finalize().cycles) / job.divisor);
+    }
     return costs;
 }
 

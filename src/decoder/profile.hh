@@ -16,10 +16,14 @@
 #define UASIM_DECODER_PROFILE_HH
 
 #include <array>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "decoder/codec.hh"
 #include "h264/kernels.hh"
 #include "timing/config.hh"
+#include "trace/sink.hh"
 
 namespace uasim::dec {
 
@@ -35,6 +39,25 @@ struct StageCosts {
     double cabacBin = 0;     //!< per bin (scalar)
     double videoOutByte = 0; //!< per output byte
 };
+
+/**
+ * One independently recordable stage microbenchmark.
+ *
+ * @p record is self-contained and deterministic: it builds its own
+ * fixture (planes, AddrNormalizer, emitter) and streams the stage's
+ * normalized trace into the sink, so it can run from any sweep worker
+ * thread. The stage cost is `simulated cycles / divisor`, stored into
+ * a StageCosts by @p assign.
+ */
+struct StageCostJob {
+    std::string key;  //!< unique per stage within one variant
+    int divisor = 1;
+    std::function<void(trace::TraceSink &)> record;
+    std::function<void(StageCosts &, double)> assign;
+};
+
+/// All stage microbenchmarks for @p variant, in StageCosts order.
+std::vector<StageCostJob> stageCostJobs(h264::Variant variant);
 
 /// Measure all stage costs for @p variant on @p cfg.
 StageCosts measureStageCosts(h264::Variant variant,

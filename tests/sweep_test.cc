@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Locks the sweep engine's guarantees (core/sweep.hh):
+ *  - replaying a recorded trace into PipelineSim is bit-identical to
+ *    streaming the emulation into the model directly;
+ *  - results and SweepStats cell/instruction counts are identical for
+ *    1 and N worker threads;
+ *  - duplicate addTrace keys dedupe to one recording;
+ *  - a group whose single timing cell takes the streamed fast path
+ *    still populates every mix-only cell and accounts its
+ *    instructions as both recorded and replayed;
+ *  - kernelTraceJob's warmupCalls reproduces shared-bench history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+#include "timing/pipeline.hh"
+#include "trace/trace_buffer.hh"
+
+using namespace uasim;
+using core::KernelBench;
+using core::KernelSpec;
+using core::SweepCell;
+using core::SweepPlan;
+using core::SweepRunner;
+using h264::KernelId;
+using h264::Variant;
+
+namespace {
+
+void
+expectSimEqual(const timing::SimResult &a, const timing::SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.storeForwards, b.storeForwards);
+    EXPECT_EQ(a.unalignedVecOps, b.unalignedVecOps);
+    EXPECT_EQ(a.lineCrossings, b.lineCrossings);
+    EXPECT_EQ(a.fetchStallCycles, b.fetchStallCycles);
+}
+
+void
+expectMixEqual(const trace::InstrMix &a, const trace::InstrMix &b)
+{
+    for (int c = 0; c < trace::numInstrClasses; ++c) {
+        auto cls = static_cast<trace::InstrClass>(c);
+        EXPECT_EQ(a.count(cls), b.count(cls));
+    }
+}
+
+} // namespace
+
+TEST(SweepReplay, BitIdenticalToDirectStreaming)
+{
+    const KernelSpec specs[] = {
+        {KernelId::Sad, 16, false},
+        {KernelId::Idct, 4, false},  // state-sensitive scalar path
+    };
+    const Variant variants[] = {Variant::Scalar, Variant::Unaligned};
+    const int execs = 6;
+    auto cfg = timing::CoreConfig::fourWayOoO();
+
+    for (const auto &spec : specs) {
+        for (auto variant : variants) {
+            KernelBench direct(spec);
+            auto want = direct.simulate(variant, cfg, execs);
+
+            trace::TraceBuffer buf;
+            KernelBench recorder(spec);
+            recorder.recordTrace(variant, execs, buf);
+            EXPECT_EQ(buf.size(), buf.mix().total());
+
+            timing::PipelineSim sim(cfg);
+            buf.replayInto(sim);
+            expectSimEqual(want, sim.finalize());
+        }
+    }
+}
+
+TEST(SweepPlan, AddTraceDedupesKeys)
+{
+    SweepPlan plan;
+    int recorded = 0;
+    auto job = [&recorded](trace::TraceSink &) { ++recorded; };
+    int a = plan.addTrace({"dup", job});
+    int b = plan.addTrace({"dup", job});
+    int c = plan.addTrace({"other", job});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    ASSERT_EQ(plan.traces().size(), 2u);
+
+    // Both cells reference the single deduped recording.
+    plan.addCell(a, SweepCell::mixOnly);
+    plan.addCell(b, SweepCell::mixOnly);
+    SweepRunner runner(1);
+    auto results = runner.run(plan);
+    EXPECT_EQ(recorded, 1);
+    EXPECT_EQ(runner.stats().tracesRecorded, 1u);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].traceKey, "dup");
+    EXPECT_EQ(results[1].traceKey, "dup");
+}
+
+TEST(SweepRunner, ResultsAndStatsThreadCountInvariant)
+{
+    const KernelSpec specs[] = {
+        {KernelId::Sad, 16, false},
+        {KernelId::LumaMc, 8, false},
+        {KernelId::Idct, 4, false},
+    };
+    const int execs = 4;
+
+    auto makePlan = [&]() {
+        SweepPlan plan;
+        plan.addConfig("2w", timing::CoreConfig::twoWayInOrder());
+        plan.addConfig("4w", timing::CoreConfig::fourWayOoO());
+        for (const auto &spec : specs) {
+            for (auto variant : {Variant::Altivec, Variant::Unaligned}) {
+                int t = plan.addTrace(
+                    core::kernelTraceJob(spec, variant, execs));
+                plan.addCell(t, 0);
+                plan.addCell(t, 1);
+                plan.addCell(t, SweepCell::mixOnly);
+            }
+        }
+        return plan;
+    };
+
+    auto planA = makePlan();
+    auto planB = makePlan();
+    SweepRunner one(1);
+    SweepRunner four(4);
+    auto a = one.run(planA);
+    auto b = four.run(planB);
+    EXPECT_EQ(one.threads(), 1);
+    EXPECT_EQ(four.threads(), 4);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].traceKey, b[i].traceKey);
+        EXPECT_EQ(a[i].configLabel, b[i].configLabel);
+        EXPECT_EQ(a[i].traceInstrs, b[i].traceInstrs);
+        expectSimEqual(a[i].sim, b[i].sim);
+        expectMixEqual(a[i].mix, b[i].mix);
+    }
+
+    const auto &sa = one.stats();
+    const auto &sb = four.stats();
+    EXPECT_EQ(sa.threads, 1);
+    EXPECT_GT(sb.threads, 1);
+    EXPECT_EQ(sa.tracesRecorded, sb.tracesRecorded);
+    EXPECT_EQ(sa.cellsRun, sb.cellsRun);
+    EXPECT_EQ(sa.instrsRecorded, sb.instrsRecorded);
+    EXPECT_EQ(sa.instrsReplayed, sb.instrsReplayed);
+    EXPECT_EQ(sa.cellsRun, std::uint64_t(planA.cells().size()));
+    EXPECT_EQ(sa.tracesRecorded,
+              std::uint64_t(planA.traces().size()));
+}
+
+TEST(SweepRunner, SingleTimingCellGroupPopulatesAllCells)
+{
+    // One trace whose group mixes a streamed timing cell with
+    // mix-only cells: the fast path must fill every cell and count
+    // its instructions as both recorded and replayed.
+    SweepPlan plan;
+    int cfg = plan.addConfig("4w", timing::CoreConfig::fourWayOoO());
+    KernelBench bench({KernelId::Sad, 8, false});
+    int t = plan.addTrace(bench.traceJob(Variant::Unaligned, 4));
+    plan.addCell(t, SweepCell::mixOnly);
+    plan.addCell(t, cfg);
+    plan.addCell(t, SweepCell::mixOnly);
+
+    SweepRunner runner(1);
+    auto results = runner.run(plan);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_GT(results[1].sim.cycles, 0u);
+    EXPECT_EQ(results[1].configLabel, "4w");
+    for (const auto &cell : results) {
+        EXPECT_FALSE(cell.traceKey.empty());
+        EXPECT_GT(cell.mix.total(), 0u);
+        EXPECT_EQ(cell.traceInstrs, results[1].traceInstrs);
+        expectMixEqual(cell.mix, results[1].mix);
+    }
+    // Mix-only cells carry no simulation.
+    EXPECT_EQ(results[0].sim.cycles, 0u);
+    EXPECT_EQ(results[0].configLabel, "");
+    EXPECT_EQ(results[2].sim.cycles, 0u);
+
+    const auto &stats = runner.stats();
+    EXPECT_EQ(stats.tracesRecorded, 1u);
+    EXPECT_EQ(stats.cellsRun, 3u);
+    EXPECT_EQ(stats.instrsRecorded, results[1].traceInstrs);
+    EXPECT_EQ(stats.instrsReplayed, results[1].traceInstrs);
+
+    // The streamed result is the same one the buffered path produces.
+    SweepPlan buffered;
+    int c2 = buffered.addConfig("4w",
+                                timing::CoreConfig::fourWayOoO());
+    KernelBench bench2({KernelId::Sad, 8, false});
+    int t2 = buffered.addTrace(bench2.traceJob(Variant::Unaligned, 4));
+    buffered.addCell(t2, c2);
+    buffered.addCell(t2, c2);  // two timing cells force the buffer
+    SweepRunner bufRunner(1);
+    auto bufResults = bufRunner.run(buffered);
+    ASSERT_EQ(bufResults.size(), 2u);
+    expectSimEqual(results[1].sim, bufResults[0].sim);
+    expectSimEqual(bufResults[0].sim, bufResults[1].sim);
+    EXPECT_EQ(bufRunner.stats().instrsReplayed,
+              2 * bufResults[0].traceInstrs);
+}
+
+TEST(SweepTraceJob, WarmupReproducesSharedBenchHistory)
+{
+    // Scalar IDCT traces depend on the bench's accumulated plane
+    // state; a warmed-up trace job must reproduce the hand-rolled
+    // shared-bench call sequence exactly.
+    const KernelSpec spec{KernelId::Idct, 4, false};
+    EXPECT_FALSE(spec.traceStateInvariant(Variant::Scalar));
+    EXPECT_TRUE(spec.traceStateInvariant(Variant::Altivec));
+
+    const int execs = 4;
+    auto cfg = timing::CoreConfig::twoWayInOrder();
+
+    KernelBench shared(spec);
+    shared.advanceState(Variant::Scalar, execs);
+    shared.advanceState(Variant::Scalar, execs);
+    auto want = shared.simulate(Variant::Scalar, cfg, execs);
+
+    auto job = core::kernelTraceJob(spec, Variant::Scalar, execs,
+                                    12345, 2);
+    timing::PipelineSim sim(cfg);
+    job.record(sim);
+    expectSimEqual(want, sim.finalize());
+}
