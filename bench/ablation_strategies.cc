@@ -80,7 +80,6 @@ int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
-    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Ablation: Table I strategies inside the SAD 16x16 "
                 "kernel ==\n(%d executions per point; cycles per "
                 "execution, +1/+2 network for\nhardware-unaligned "
@@ -112,17 +111,23 @@ main(int argc, char **argv)
     for (int si = 0; si < numStrats; ++si) {
         auto strat = static_cast<RealignStrategy>(si);
         std::string name{vmx::strategyName(strat)};
+        // Execution counts are part of the keys: store entries
+        // outlive the process, so a --execs change must miss. The
+        // count trace is deliberately un-normalized (only its mix is
+        // consumed), so its raw host addresses must not be persisted:
+        // not cacheable.
         int mixT = plan.addTrace(
-            {"sad16/" + name + "/count",
+            {"sad16/" + name + "/count/" + std::to_string(countExecs),
              [strat, &cur, &ref](trace::TraceSink &sink) {
                  trace::Emitter em(sink);
                  vmx::ScalarOps so(em);
                  vmx::VecOps vo(em);
                  runSadExecs(so, vo, strat, cur, ref, countExecs);
-             }});
+             },
+             /*cacheable=*/false});
         plan.addCell(mixT, core::SweepCell::mixOnly);
         int simT = plan.addTrace(
-            {"sad16/" + name + "/sim",
+            {"sad16/" + name + "/sim/" + std::to_string(execs),
              [strat, &cur, &ref, execs](trace::TraceSink &sink) {
                  trace::AddrNormalizer norm(sink);
                  norm.addRegion(cur.paddedBase(), cur.paddedSize(),
@@ -138,7 +143,7 @@ main(int argc, char **argv)
             plan.addCell(simT, c);
     }
 
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     core::TextTable t;
     std::vector<std::string> head{"strategy", "instrs/exec"};

@@ -7,10 +7,13 @@
 #ifndef UASIM_BENCH_BENCH_UTIL_HH
 #define UASIM_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
+#include "core/sweep.hh"
 #include "video/sequence.hh"
 
 namespace uasim::bench {
@@ -22,6 +25,17 @@ intFlag(int argc, char **argv, const char *name, int def)
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], name) == 0)
             return std::atoi(argv[i + 1]);
+    }
+    return def;
+}
+
+/// Parse a "--name STR" flag with a default.
+inline const char *
+stringFlag(int argc, char **argv, const char *name, const char *def)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
     }
     return def;
 }
@@ -52,6 +66,40 @@ inline int
 threadsFlag(int argc, char **argv)
 {
     return intFlag(argc, argv, "--threads", 0);
+}
+
+/**
+ * Persistent trace-cache directory ("--trace-cache DIR"); empty when
+ * the flag is absent (no store).
+ */
+inline std::string
+traceCacheFlag(int argc, char **argv)
+{
+    return stringFlag(argc, argv, "--trace-cache", "");
+}
+
+/**
+ * SweepRunner configured from the shared bench flags: "--threads N"
+ * workers plus, when "--trace-cache DIR" is given, a persistent
+ * content-addressed trace store (trace/trace_store.hh). With the
+ * store, a second (warm) run of the same grid replays every kernel
+ * trace from disk instead of re-emulating it, with byte-identical
+ * output. Exits with a diagnostic if DIR cannot be created.
+ */
+inline core::SweepRunner
+makeSweepRunner(int argc, char **argv)
+{
+    core::SweepRunner runner(threadsFlag(argc, argv));
+    const std::string dir = traceCacheFlag(argc, argv);
+    if (!dir.empty()) {
+        try {
+            runner.attachStore(dir);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--trace-cache: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+    return runner;
 }
 
 /**

@@ -36,7 +36,6 @@ main(int argc, char **argv)
     const int frames = bench::sizeFlag(argc, argv, "--frames", 4, 1);
     const int qp = bench::intFlag(argc, argv, "--qp", 34);
     const bool full = bench::boolFlag(argc, argv, "--full-res");
-    const int threads = bench::threadsFlag(argc, argv);
     const double hz = 2.0e9;
 
     // Functional decodes are cheap; default to CIF-ish size so the
@@ -67,9 +66,11 @@ main(int argc, char **argv)
         auto variant = static_cast<h264::Variant>(v);
         jobs[v] = dec::stageCostJobs(variant);
         for (const auto &job : jobs[v]) {
+            // The divisor doubles as the stage's workload size, so it
+            // belongs in the persistent cache key.
             int t = plan.addTrace(
                 {std::string(h264::variantName(variant)) + "/" +
-                     job.key,
+                     job.key + "/" + std::to_string(job.divisor),
                  job.record});
             plan.addCell(t, cfg4w);
         }
@@ -77,6 +78,8 @@ main(int argc, char **argv)
     std::vector<StageCounts> seq_counts(numSeqs);
     for (int i = 0; i < numSeqs; ++i) {
         auto content = contents[i];
+        // Not cacheable: the functional decode's output is the side
+        // effect of filling seq_counts[i], not a record stream.
         int t = plan.addTrace(
             {std::string("decode/") +
                  std::string(video::contentName(content)),
@@ -90,11 +93,12 @@ main(int argc, char **argv)
                  for (int f = 0; f < frames; ++f)
                      decd.decodeFrame(enc.encodeFrame(f),
                                       seq_counts[i]);
-             }});
+             },
+             /*cacheable=*/false});
         plan.addCell(t, core::SweepCell::mixOnly);
     }
 
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     // Stage costs per variant, reassembled in plan cell order.
     dec::StageCosts costs[3];

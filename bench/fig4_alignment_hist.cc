@@ -48,7 +48,6 @@ int
 main(int argc, char **argv)
 {
     const int frames = bench::sizeFlag(argc, argv, "--frames", 8, 1);
-    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Fig 4: alignment offsets in H.264/AVC luma and "
                 "chroma interpolation ==\n(%d frames of MC block "
                 "addresses per sequence)\n\n",
@@ -60,14 +59,18 @@ main(int argc, char **argv)
     core::SweepPlan plan;
     for (int i = 0; i < int(seqs.size()); ++i) {
         const auto &params = seqs[i];
+        // Not cacheable: the job's output is the side effect of
+        // filling stats[i], not its (empty) record stream, so a
+        // store hit would skip the work entirely.
         int t = plan.addTrace(
             {params.label(), [&stats, &params, frames, i](
                                  trace::TraceSink &) {
                  stats[i] = video::collectMcAlignment(params, frames);
-             }});
+             },
+             /*cacheable=*/false});
         plan.addCell(t, core::SweepCell::mixOnly);
     }
-    core::SweepRunner(threads).run(plan);
+    bench::makeSweepRunner(argc, argv).run(plan);
 
     std::vector<std::pair<std::string, AlignmentHistogram>> luma_ld,
         chroma_ld, luma_st, chroma_st;

@@ -32,7 +32,6 @@ int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
-    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Fig 8: speed-up in kernels with support for "
                 "unaligned load and stores ==\n(%d executions per "
                 "point; normalized to the 2-way scalar version)\n\n",
@@ -76,7 +75,7 @@ main(int argc, char **argv)
         }
     }
 
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     core::TextTable t;
     t.header({"kernel", "core", "scalar", "altivec", "unaligned",

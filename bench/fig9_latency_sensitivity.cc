@@ -27,7 +27,6 @@ int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
-    const int threads = bench::threadsFlag(argc, argv);
     const int extras[] = {0, 1, 2, 4, 6};
     const int numExtras = int(std::size(extras));
 
@@ -62,7 +61,7 @@ main(int argc, char **argv)
             plan.addCell(unal, e);
     }
 
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     core::TextTable t;
     t.header({"kernel", "equal_lat", "+1cyc", "+2cyc", "+4cyc",

@@ -34,7 +34,10 @@ constexpr int chainLen = 400;
 core::TraceJob
 chainTraceJob(RealignStrategy strat)
 {
-    return {std::string("chain/") + std::string(vmx::strategyName(strat)),
+    // chainLen is part of the key: store entries outlive the process,
+    // so the key must pin everything the recorded stream depends on.
+    return {std::string("chain/") + std::string(vmx::strategyName(strat)) +
+                "/" + std::to_string(chainLen),
             [strat](trace::TraceSink &sink) {
                 trace::AddrNormalizer norm(sink);
                 vmx::AlignedBuffer buf(4096, 5);
@@ -63,7 +66,6 @@ chainTraceJob(RealignStrategy strat)
 int
 main(int argc, char **argv)
 {
-    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Table I: support for unaligned loads in different "
                 "platforms ==\n");
     std::printf("(instruction counts measured from the emitted idioms; "
@@ -86,7 +88,7 @@ main(int argc, char **argv)
             plan.addCell(t, c);
         }
     }
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     core::TextTable t;
     t.header({"ISA / extension", "idiom", "ld instrs", "st instrs",

@@ -25,7 +25,6 @@ int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 1000, 16);
-    const int threads = bench::threadsFlag(argc, argv);
     std::printf("== Table III: dynamic instruction count for %d "
                 "executions (thousands) ==\n\n",
                 execs);
@@ -71,7 +70,7 @@ main(int argc, char **argv)
         }
     }
 
-    auto results = core::SweepRunner(threads).run(plan);
+    auto results = bench::makeSweepRunner(argc, argv).run(plan);
 
     core::TextTable t;
     t.header({"kernel", "variant", "Total", "Int", "Loads", "Stores",

@@ -1,0 +1,62 @@
+# Persistent trace-store parity check for a sweep-ported bench: run
+# the binary's --quick path cold (fresh cache directory) and then warm
+# (same directory) and require byte-for-byte identical stdout - a warm
+# run replays every cacheable trace from disk, so any divergence means
+# the serialized stream is not bit-identical to in-memory recording.
+# A warm run at --threads 4 must also match, and the cache directory
+# must actually have been populated.
+#
+# Usage: cmake -DBENCH=<binary> -DCACHE_DIR=<dir> -P TraceCacheParity.cmake
+
+if(NOT BENCH)
+    message(FATAL_ERROR "TraceCacheParity.cmake: pass -DBENCH=<binary>")
+endif()
+if(NOT CACHE_DIR)
+    message(FATAL_ERROR "TraceCacheParity.cmake: pass -DCACHE_DIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE ${CACHE_DIR})
+
+execute_process(
+    COMMAND ${BENCH} --quick --threads 1 --trace-cache ${CACHE_DIR}
+    OUTPUT_VARIABLE out_cold
+    RESULT_VARIABLE rc_cold)
+if(NOT rc_cold EQUAL 0)
+    message(FATAL_ERROR "${BENCH} cold run exited ${rc_cold}")
+endif()
+
+file(GLOB cache_entries ${CACHE_DIR}/*.uatrace)
+if(NOT cache_entries)
+    message(FATAL_ERROR "${BENCH}: cold run left no entries in ${CACHE_DIR}")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} --quick --threads 1 --trace-cache ${CACHE_DIR}
+    OUTPUT_VARIABLE out_warm
+    RESULT_VARIABLE rc_warm)
+if(NOT rc_warm EQUAL 0)
+    message(FATAL_ERROR "${BENCH} warm run exited ${rc_warm}")
+endif()
+if(NOT out_cold STREQUAL out_warm)
+    message(FATAL_ERROR
+        "${BENCH}: stdout differs between cold and warm --trace-cache runs\n"
+        "--- cold ---\n${out_cold}\n"
+        "--- warm ---\n${out_warm}")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} --quick --threads 4 --trace-cache ${CACHE_DIR}
+    OUTPUT_VARIABLE out_warm4
+    RESULT_VARIABLE rc_warm4)
+if(NOT rc_warm4 EQUAL 0)
+    message(FATAL_ERROR "${BENCH} warm --threads 4 run exited ${rc_warm4}")
+endif()
+if(NOT out_cold STREQUAL out_warm4)
+    message(FATAL_ERROR
+        "${BENCH}: stdout differs between cold and warm --threads 4 runs\n"
+        "--- cold ---\n${out_cold}\n"
+        "--- warm 4 ---\n${out_warm4}")
+endif()
+
+file(REMOVE_RECURSE ${CACHE_DIR})
+message(STATUS "${BENCH}: cold and warm --trace-cache output identical")

@@ -19,6 +19,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "decoder/codec.hh"
 #include "decoder/profile.hh"
 #include "decoder/transform.hh"
@@ -45,7 +46,9 @@
 #include "trace/instr.hh"
 #include "trace/mix.hh"
 #include "trace/sink.hh"
+#include "trace/trace_buffer.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
 #include "video/frame.hh"
 #include "video/motion.hh"
 #include "video/rng.hh"

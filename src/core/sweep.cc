@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -74,6 +75,12 @@ SweepRunner::SweepRunner(int threads)
     threads_ = threads;
 }
 
+void
+SweepRunner::attachStore(const std::string &dir)
+{
+    store_ = std::make_unique<trace::TraceStore>(dir);
+}
+
 std::vector<SweepCellResult>
 SweepRunner::run(const SweepPlan &plan)
 {
@@ -94,9 +101,11 @@ SweepRunner::run(const SweepPlan &plan)
     std::vector<SweepCellResult> results(plan.cells().size());
 
     struct WorkerTotals {
-        std::uint64_t recorded = 0, replayed = 0, traces = 0,
+        std::uint64_t recorded = 0, loaded = 0, replayed = 0,
+                      traces = 0, tracesLoaded = 0, tracesStored = 0,
                       cells = 0;
-        double recordSec = 0, replaySec = 0, streamSec = 0;
+        double recordSec = 0, replaySec = 0, streamSec = 0,
+               loadSec = 0;
     };
 
     std::atomic<std::size_t> cursor{0};
@@ -127,8 +136,108 @@ SweepRunner::run(const SweepPlan &plan)
                         ++timingCells;
                 }
 
-                trace::InstrMix mix;
+                trace::TraceStore *store =
+                    (store_ && job.cacheable) ? store_.get() : nullptr;
+
+                // The single timing cell of a fused group.
+                int simCi = -1;
                 if (timingCells == 1) {
+                    for (int ci : group.cellIndices) {
+                        if (plan.cells()[ci].config !=
+                            SweepCell::mixOnly) {
+                            simCi = ci;
+                            break;
+                        }
+                    }
+                }
+
+                trace::InstrMix mix;
+                bool fromStore = false;
+
+                // Store probe, shaped per group kind so a hit never
+                // materializes state the cells don't need: a mix-only
+                // group reads just the header's validated mix section
+                // (no payload decode at all), a single timing cell
+                // streams the decoded records straight into its
+                // simulator, and a multi-cell group buffers once and
+                // replays per cell. Replay equivalence keeps every
+                // hit bit-identical to recording in-process.
+                if (store && timingCells == 0) {
+                    auto t0 = Clock::now();
+                    if (auto sum = store->loadSummary(job.key)) {
+                        mix = sum->mix;
+                        local.loadSec += secondsSince(t0);
+                        local.loaded += sum->count;
+                        ++local.tracesLoaded;
+                        fromStore = true;
+                    }
+                } else if (store && timingCells == 1) {
+                    auto t0 = Clock::now();
+                    timing::PipelineSim sim(
+                        plan.configs()[plan.cells()[simCi].config]
+                            .cfg);
+                    trace::CountingSink counter;
+                    trace::TeeSink tee(counter, sim);
+                    if (store->load(job.key, tee)) {
+                        results[simCi].sim = sim.finalize();
+                        mix = counter.mix();
+                        local.replaySec += secondsSince(t0);
+                        local.loaded += mix.total();
+                        local.replayed += mix.total();
+                        ++local.tracesLoaded;
+                        fromStore = true;
+                    }
+                    // On a miss (or a corrupt entry detected mid-
+                    // drain) the partially fed sim and counter fall
+                    // out of scope; the record path starts fresh.
+                } else if (store) {
+                    trace::TraceBuffer storedBuf;
+                    auto t0 = Clock::now();
+                    if (store->load(job.key, storedBuf)) {
+                        local.loadSec += secondsSince(t0);
+                        local.loaded += storedBuf.size();
+                        ++local.tracesLoaded;
+                        fromStore = true;
+                        mix = storedBuf.mix();
+                        auto t1 = Clock::now();
+                        for (int ci : group.cellIndices) {
+                            const SweepCell &cell = plan.cells()[ci];
+                            if (cell.config == SweepCell::mixOnly)
+                                continue;
+                            timing::PipelineSim sim(
+                                plan.configs()[cell.config].cfg);
+                            storedBuf.replayInto(sim);
+                            results[ci].sim = sim.finalize();
+                            local.replayed += storedBuf.size();
+                        }
+                        local.replaySec += secondsSince(t1);
+                    }
+                }
+
+                // Write-through recorder for a store miss; a failed
+                // store write degrades to an uncached run, never a
+                // failed sweep.
+                std::unique_ptr<trace::TraceStore::Recorder> recorder;
+                if (store && !fromStore)
+                    recorder = store->startRecord(job.key);
+                auto commitRecorder = [&]() {
+                    if (!recorder)
+                        return;
+                    try {
+                        recorder->commit();
+                        ++local.tracesStored;
+                    } catch (const std::exception &e) {
+                        std::fprintf(stderr,
+                                     "trace-store: cannot persist "
+                                     "\"%s\": %s; continuing\n",
+                                     job.key.c_str(), e.what());
+                    }
+                    recorder.reset();
+                };
+
+                if (fromStore) {
+                    // All cells already filled by the probe above.
+                } else if (timingCells == 1) {
                     // Single consumer: stream the emulation straight
                     // into its simulator (replay equivalence makes
                     // this bit-identical to the buffered path, minus
@@ -138,41 +247,51 @@ SweepRunner::run(const SweepPlan &plan)
                     // instructions count as both recorded and
                     // replayed, keeping the instruction totals
                     // identical to the buffered path's.
-                    int simCi = -1;
-                    for (int ci : group.cellIndices) {
-                        if (plan.cells()[ci].config !=
-                            SweepCell::mixOnly) {
-                            simCi = ci;
-                            break;
-                        }
-                    }
                     const auto &cfgJob =
                         plan.configs()[plan.cells()[simCi].config];
                     auto t0 = Clock::now();
                     timing::PipelineSim sim(cfgJob.cfg);
                     trace::CountingSink counter;
                     trace::TeeSink tee(counter, sim);
-                    job.record(tee);
+                    if (recorder) {
+                        trace::TeeSink teeStore(tee, *recorder);
+                        job.record(teeStore);
+                    } else {
+                        job.record(tee);
+                    }
                     auto &res = results[simCi];
                     res.sim = sim.finalize();
                     mix = counter.mix();
                     local.streamSec += secondsSince(t0);
                     local.recorded += mix.total();
                     local.replayed += mix.total();
+                    commitRecorder();
                 } else if (timingCells == 0) {
                     auto t0 = Clock::now();
                     trace::CountingSink counter;
-                    job.record(counter);
+                    if (recorder) {
+                        trace::TeeSink tee(counter, *recorder);
+                        job.record(tee);
+                    } else {
+                        job.record(counter);
+                    }
                     mix = counter.mix();
                     local.recordSec += secondsSince(t0);
                     local.recorded += mix.total();
+                    commitRecorder();
                 } else {
                     trace::TraceBuffer buffer;
                     auto t0 = Clock::now();
-                    job.record(buffer);
+                    if (recorder) {
+                        trace::TeeSink tee(buffer, *recorder);
+                        job.record(tee);
+                    } else {
+                        job.record(buffer);
+                    }
                     mix = buffer.mix();
                     local.recordSec += secondsSince(t0);
                     local.recorded += buffer.size();
+                    commitRecorder();
                     auto t1 = Clock::now();
                     for (int ci : group.cellIndices) {
                         const SweepCell &cell = plan.cells()[ci];
@@ -199,7 +318,8 @@ SweepRunner::run(const SweepPlan &plan)
                     res.traceInstrs = mix.total();
                     ++local.cells;
                 }
-                ++local.traces;
+                if (!fromStore)
+                    ++local.traces;
             }
         } catch (...) {
             {
@@ -211,12 +331,16 @@ SweepRunner::run(const SweepPlan &plan)
         }
         std::lock_guard<std::mutex> lock(totalsMutex);
         totals.recorded += local.recorded;
+        totals.loaded += local.loaded;
         totals.replayed += local.replayed;
         totals.traces += local.traces;
+        totals.tracesLoaded += local.tracesLoaded;
+        totals.tracesStored += local.tracesStored;
         totals.cells += local.cells;
         totals.recordSec += local.recordSec;
         totals.replaySec += local.replaySec;
         totals.streamSec += local.streamSec;
+        totals.loadSec += local.loadSec;
     };
 
     int poolSize = std::min<int>(threads_, int(groups.size()));
@@ -235,12 +359,16 @@ SweepRunner::run(const SweepPlan &plan)
 
     stats_.threads = std::max(1, poolSize);
     stats_.tracesRecorded = totals.traces;
+    stats_.tracesLoaded = totals.tracesLoaded;
+    stats_.tracesStored = totals.tracesStored;
     stats_.cellsRun = totals.cells;
     stats_.instrsRecorded = totals.recorded;
+    stats_.instrsLoaded = totals.loaded;
     stats_.instrsReplayed = totals.replayed;
     stats_.recordSeconds = totals.recordSec;
     stats_.replaySeconds = totals.replaySec;
     stats_.streamSeconds = totals.streamSec;
+    stats_.loadSeconds = totals.loadSec;
     stats_.wallSeconds = secondsSince(wallStart);
     return results;
 }

@@ -12,6 +12,11 @@
  * thread pool. Results land in cell order regardless of scheduling,
  * so reports are byte-identical from 1 thread to N.
  *
+ * With a persistent store attached (attachStore), "once" extends
+ * across processes: each cacheable trace job probes the store first,
+ * replays from disk on a hit, and records through to disk on a miss,
+ * so repeated grid invocations warm-start instead of re-emulating.
+ *
  * Exactness: replaying a recorded trace into PipelineSim is
  * bit-identical to streaming the emulation straight into the model
  * (tests/sweep_test.cc locks this), so a sweep produces exactly the
@@ -24,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +39,7 @@
 #include "timing/results.hh"
 #include "trace/mix.hh"
 #include "trace/sink.hh"
+#include "trace/trace_store.hh"
 
 namespace uasim::core {
 
@@ -45,6 +52,16 @@ namespace uasim::core {
 struct TraceJob {
     std::string key;  //!< unique identity; the trace-cache key
     std::function<void(trace::TraceSink &)> record;
+    /**
+     * Whether the persistent trace store may serve this job. Must be
+     * false for jobs whose value is a side effect of running @p
+     * record (e.g. filling a captured stats slot) rather than the
+     * emitted record stream - a store hit replays the stream from
+     * disk and never invokes @p record. The key of a cacheable job
+     * must encode everything the stream depends on (workload sizes,
+     * seeds, warmup history), because entries outlive the process.
+     */
+    bool cacheable = true;
 };
 
 /// One timing configuration of the grid.
@@ -110,23 +127,34 @@ struct SweepCellResult {
  * Aggregate runner statistics (for BENCH_*.json artifacts).
  *
  * Invariants, independent of thread count and of which execution path
- * a group took: instrsRecorded is the summed length of every unique
- * trace (each recorded exactly once), and instrsReplayed is the
- * summed trace length over all timing cells - a group whose single
- * timing cell is streamed directly still accounts its instructions as
- * replayed. Time is split three ways: pure record passes
- * (recordSeconds), pure buffer-replay passes (replaySeconds), and
- * fused single-consumer record+simulate passes (streamSeconds).
+ * a group took: every unique trace is obtained exactly once - by
+ * emulation (counted in tracesRecorded/instrsRecorded) or from the
+ * persistent store (tracesLoaded/instrsLoaded) - and instrsReplayed
+ * is the summed trace length over all timing cells (a group whose
+ * single timing cell is streamed directly still accounts its
+ * instructions as replayed). Without a store, tracesLoaded and
+ * tracesStored are zero and tracesRecorded covers every trace. Time
+ * is split by pass kind: pure record passes (recordSeconds), pure
+ * buffer-replay passes (replaySeconds), fused single-consumer
+ * record+simulate passes (streamSeconds), and pure store reads -
+ * summary probes and buffer loads (loadSeconds). A store hit on a
+ * single-timing-cell group streams the decoded records straight into
+ * the simulator; that fused disk-read+simulate pass is accounted as
+ * replaySeconds, like the in-memory replay it replaces.
  */
 struct SweepStats {
     int threads = 0;
-    std::uint64_t tracesRecorded = 0;
+    std::uint64_t tracesRecorded = 0;  //!< traces obtained by emulation
+    std::uint64_t tracesLoaded = 0;    //!< traces replayed from the store
+    std::uint64_t tracesStored = 0;    //!< entries written to the store
     std::uint64_t cellsRun = 0;
     std::uint64_t instrsRecorded = 0;  //!< emulated records, all traces
+    std::uint64_t instrsLoaded = 0;    //!< records read from the store
     std::uint64_t instrsReplayed = 0;  //!< records fed to timing sims
     double recordSeconds = 0;  //!< pure record passes, summed across workers
     double replaySeconds = 0;  //!< buffer-replay passes, summed across workers
     double streamSeconds = 0;  //!< fused record+simulate fast-path passes
+    double loadSeconds = 0;    //!< store-read passes, summed across workers
     double wallSeconds = 0;
 };
 
@@ -146,6 +174,21 @@ class SweepRunner
     /// @param threads worker count; 0 = hardware concurrency.
     explicit SweepRunner(int threads = 0);
 
+    /**
+     * Attach a persistent trace store under @p dir (creating it if
+     * needed). Cacheable trace jobs then probe the store before
+     * recording: a hit replays the stored stream into every cell of
+     * the group with zero re-emulation, a miss records through to
+     * disk for the next run. Replayed results are bit-identical to
+     * in-memory recording (tests/sweep_test.cc locks the disk path
+     * too).
+     * @throws std::runtime_error if the directory cannot be created.
+     */
+    void attachStore(const std::string &dir);
+
+    /// The attached store, or nullptr.
+    trace::TraceStore *store() const { return store_.get(); }
+
     /// Run the plan. @return per-cell results in plan cell order.
     std::vector<SweepCellResult> run(const SweepPlan &plan);
 
@@ -157,6 +200,7 @@ class SweepRunner
   private:
     int threads_;
     SweepStats stats_;
+    std::unique_ptr<trace::TraceStore> store_;
 };
 
 /**

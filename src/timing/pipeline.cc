@@ -1,6 +1,7 @@
 #include "timing/pipeline.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace uasim::timing {
@@ -9,12 +10,18 @@ using trace::InstrClass;
 using trace::InstrRecord;
 
 PipelineSim::PipelineSim(const CoreConfig &cfg)
-    : cfg_(cfg), mem_(cfg.mem), readyRing_(ringSize)
+    : cfg_(cfg), mem_(cfg.mem)
 {
     res_.core = cfg_.name;
     storeQ_.reserve(cfg_.storeQ);
     mshr_.reserve(cfg_.missMax);
-    static_assert((ringSize & (ringSize - 1)) == 0);
+    // 2x the in-flight window (see minRingSize) rounded up to a
+    // power of two, so any legal CoreConfig scaling is safe.
+    const auto inflight =
+        std::size_t(std::max(1, cfg_.inflight));
+    readyRing_.resize(
+        std::bit_ceil(std::max(minRingSize, 2 * inflight)));
+    ringMask_ = readyRing_.size() - 1;
 }
 
 int

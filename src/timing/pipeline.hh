@@ -106,8 +106,15 @@ class PipelineSim : public trace::TraceSink
     bool depsReady(const trace::InstrRecord &rec) const;
 
     static constexpr std::uint64_t notReady = ~std::uint64_t{0};
-    static constexpr std::size_t ringSize = 1024;  // > max inflight
-    static constexpr std::size_t ringMask_ = ringSize - 1;
+
+    /**
+     * Floor for the producer-ready ring. The ring is sized at
+     * construction to a power of two with at least 2x headroom over
+     * cfg.inflight: live ids span at most the in-flight window, so
+     * doubling it guarantees two live instructions can never alias a
+     * slot (aliasing would silently corrupt dependency timing).
+     */
+    static constexpr std::size_t minRingSize = 1024;
 
     struct ReadyEntry {
         std::uint64_t id = 0;
@@ -123,7 +130,8 @@ class PipelineSim : public trace::TraceSink
     std::deque<trace::InstrRecord> pending_;  //!< staged by feed()
     std::deque<Slot> fetchBuf_;               //!< fetched, not dispatched
     std::deque<Slot> rob_;                    //!< dispatched, not retired
-    std::vector<ReadyEntry> readyRing_;
+    std::vector<ReadyEntry> readyRing_;       //!< sized from cfg.inflight
+    std::size_t ringMask_ = 0;
     std::vector<StoreEntry> storeQ_;
     std::vector<std::uint64_t> mshr_;         //!< miss completion cycles
 

@@ -1,80 +1,275 @@
 #include "trace/trace_io.hh"
 
+#include <cerrno>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 namespace uasim::trace {
 
+namespace wire {
+
 namespace {
 
-constexpr char traceMagic[8] = {'U', 'A', 'T', 'R', 'A', 'C', 'E', '1'};
-constexpr std::size_t writeBufferRecords = 4096;
-
-PackedRecord
-pack(const InstrRecord &rec)
+void
+putLe32(std::string &out, std::uint32_t v)
 {
-    PackedRecord p{};
-    p.id = rec.id;
-    p.pc = rec.pc;
-    p.addr = rec.addr;
-    p.deps[0] = rec.deps[0];
-    p.deps[1] = rec.deps[1];
-    p.deps[2] = rec.deps[2];
-    p.cls = static_cast<std::uint8_t>(rec.cls);
-    p.size = rec.size;
-    p.taken = rec.taken ? 1 : 0;
-    return p;
+    for (int i = 0; i < 4; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xff);
 }
 
-InstrRecord
-unpack(const PackedRecord &p)
+void
+putLe64(std::string &out, std::uint64_t v)
 {
-    InstrRecord rec;
-    rec.id = p.id;
-    rec.pc = p.pc;
-    rec.addr = p.addr;
-    rec.deps = {p.deps[0], p.deps[1], p.deps[2]};
-    rec.cls = static_cast<InstrClass>(p.cls);
-    rec.size = p.size;
-    rec.taken = p.taken != 0;
-    return rec;
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
 }
 
 } // namespace
 
-FileSink::FileSink(const std::string &path)
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t state)
 {
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        state ^= p[i];
+        state *= 0x100000001b3ull;
+    }
+    return state;
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out += static_cast<char>((v & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out += static_cast<char>(v);
+}
+
+bool
+getVarint(const std::uint8_t *&p, const std::uint8_t *end,
+          std::uint64_t &v)
+{
+    v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+        if (p == end)
+            return false;
+        std::uint8_t byte = *p++;
+        v |= std::uint64_t(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false;  // over-long encoding
+}
+
+std::string
+Header::serialize() const
+{
+    std::string out;
+    out.reserve(headerBytes);
+    out.append(magic, sizeof(magic));
+    putLe32(out, version);
+    putLe32(out, keyBytes);
+    putLe64(out, recordCount);
+    putLe64(out, payloadBytes);
+    putLe64(out, payloadHash);
+    putLe64(out, keyHash);
+    putLe64(out, mixHash);
+    return out;
+}
+
+std::string
+serializeMix(const InstrMix &mix)
+{
+    std::string out;
+    out.reserve(mixBytes);
+    for (int c = 0; c < numInstrClasses; ++c)
+        putLe64(out, mix.count(static_cast<InstrClass>(c)));
+    return out;
+}
+
+void
+RecordEncoder::encode(const InstrRecord &rec, std::string &out)
+{
+    const bool is_mem = rec.isMem();
+    const bool taken = rec.cls == InstrClass::Branch && rec.taken;
+    out += static_cast<char>(static_cast<std::uint8_t>(rec.cls) |
+                             (taken ? 0x80 : 0));
+    putVarint(out, zigzag(std::int64_t(rec.id - prevId_)));
+    prevId_ = rec.id;
+    putVarint(out, zigzag(std::int64_t(rec.pc - prevPc_)));
+    prevPc_ = rec.pc;
+    if (is_mem) {
+        putVarint(out, zigzag(std::int64_t(rec.addr - prevAddr_)));
+        prevAddr_ = rec.addr;
+        out += static_cast<char>(rec.size);
+    }
+    for (auto dep : rec.deps) {
+        // 0 = no dependence; otherwise bias the producer delta by one
+        // so it cannot collide with the no-dependence encoding.
+        putVarint(out, dep ? zigzag(std::int64_t(rec.id - dep)) + 1
+                           : 0);
+    }
+}
+
+void
+RecordDecoder::decode(const std::uint8_t *&p, const std::uint8_t *end,
+                      InstrRecord &rec)
+{
+    auto truncated = [] {
+        throw std::runtime_error(
+            "trace payload truncated mid-record");
+    };
+    if (p == end)
+        truncated();
+    const std::uint8_t tag = *p++;
+    const std::uint8_t cls = tag & 0x7f;
+    if (cls >= static_cast<std::uint8_t>(InstrClass::NumClasses))
+        throw std::runtime_error(
+            "invalid instruction class byte " + std::to_string(cls) +
+            " in trace payload");
+    rec.cls = static_cast<InstrClass>(cls);
+    if ((tag & 0x80) && rec.cls != InstrClass::Branch)
+        throw std::runtime_error(
+            "taken flag set on non-branch record in trace payload");
+    rec.taken = (tag & 0x80) != 0;
+
+    std::uint64_t v;
+    if (!getVarint(p, end, v))
+        truncated();
+    rec.id = prevId_ + std::uint64_t(unzigzag(v));
+    prevId_ = rec.id;
+    if (!getVarint(p, end, v))
+        truncated();
+    rec.pc = prevPc_ + std::uint64_t(unzigzag(v));
+    prevPc_ = rec.pc;
+    if (isMemClass(rec.cls)) {
+        if (!getVarint(p, end, v))
+            truncated();
+        rec.addr = prevAddr_ + std::uint64_t(unzigzag(v));
+        prevAddr_ = rec.addr;
+        if (p == end)
+            truncated();
+        rec.size = *p++;
+    } else {
+        rec.addr = 0;
+        rec.size = 0;
+    }
+    for (auto &dep : rec.deps) {
+        if (!getVarint(p, end, v))
+            truncated();
+        dep = v ? rec.id - std::uint64_t(unzigzag(v - 1)) : 0;
+    }
+}
+
+} // namespace wire
+
+namespace {
+
+constexpr std::size_t writeBufferBytes = 1 << 20;
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+FileSink::FileSink(const std::string &path, std::string key)
+    : path_(path), key_(std::move(key))
+{
+    if (key_.size() > wire::maxKeyBytes)
+        throw std::runtime_error("FileSink: key too long for " + path);
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
-        throw std::runtime_error("FileSink: cannot open " + path);
-    std::uint64_t zero = 0;
-    std::fwrite(traceMagic, 1, sizeof(traceMagic), file_);
-    std::fwrite(&zero, sizeof(zero), 1, file_);
-    buffer_.reserve(writeBufferRecords);
+        throw std::runtime_error("FileSink: cannot open " + path +
+                                 ": " + errnoText());
+    // Header + mix placeholders (patched by close()) and the key; a
+    // reader of an unfinalized file sees payloadBytes 0 != actual
+    // size and rejects it.
+    wire::Header hdr;
+    hdr.keyBytes = std::uint32_t(key_.size());
+    hdr.keyHash = wire::fnv1a(key_.data(), key_.size());
+    std::string head =
+        hdr.serialize() + key_ + std::string(wire::mixBytes, '\0');
+    if (std::fwrite(head.data(), 1, head.size(), file_) != head.size())
+        fail("header write failed");
+    buffer_.reserve(writeBufferBytes);
 }
 
 FileSink::~FileSink()
 {
-    close();
+    if (!file_)
+        return;
+    try {
+        close();
+    } catch (const std::exception &e) {
+        // Destructors must not throw; surface the failure instead of
+        // silently leaving a corrupt trace behind.
+        std::fprintf(stderr, "FileSink: %s\n", e.what());
+    }
+}
+
+void
+FileSink::fail(const std::string &what)
+{
+    failed_ = true;
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    throw std::runtime_error("FileSink: " + what + " for " + path_);
 }
 
 void
 FileSink::append(const InstrRecord &rec)
 {
-    buffer_.push_back(pack(rec));
-    if (buffer_.size() >= writeBufferRecords)
+    if (!file_) {
+        throw std::runtime_error(
+            "FileSink: append on a closed or failed sink for " +
+            path_);
+    }
+    encoder_.encode(rec, buffer_);
+    mix_.add(rec);
+    ++written_;
+    if (buffer_.size() >= writeBufferBytes)
         flushBuffer();
 }
 
 void
 FileSink::flushBuffer()
 {
-    if (!buffer_.empty()) {
-        std::fwrite(buffer_.data(), sizeof(PackedRecord), buffer_.size(),
-                    file_);
-        written_ += buffer_.size();
-        buffer_.clear();
+    if (buffer_.empty())
+        return;
+    payloadHash_ =
+        wire::fnv1a(buffer_.data(), buffer_.size(), payloadHash_);
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+        fail("payload write failed: " + errnoText());
     }
+    payloadBytes_ += buffer_.size();
+    buffer_.clear();
 }
 
 void
@@ -83,46 +278,204 @@ FileSink::close()
     if (!file_)
         return;
     flushBuffer();
-    std::fseek(file_, sizeof(traceMagic), SEEK_SET);
-    std::fwrite(&written_, sizeof(written_), 1, file_);
-    std::fclose(file_);
+    // Flush data before patching the header so a failure cannot leave
+    // a valid-looking header over a truncated payload.
+    if (std::fflush(file_) != 0)
+        fail("payload flush failed: " + errnoText());
+    const std::string mix_section = wire::serializeMix(mix_);
+    wire::Header hdr;
+    hdr.keyBytes = std::uint32_t(key_.size());
+    hdr.recordCount = written_;
+    hdr.payloadBytes = payloadBytes_;
+    hdr.payloadHash = payloadHash_;
+    hdr.keyHash = wire::fnv1a(key_.data(), key_.size());
+    hdr.mixHash = wire::fnv1a(mix_section.data(), mix_section.size());
+    // Header, key and mix section are contiguous from offset 0, so
+    // one seek patches them all.
+    std::string head = hdr.serialize() + key_ + mix_section;
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        fail("header seek failed: " + errnoText());
+    if (std::fwrite(head.data(), 1, head.size(), file_) != head.size())
+        fail("header patch failed: " + errnoText());
+    if (std::fflush(file_) != 0)
+        fail("header flush failed: " + errnoText());
+    std::FILE *f = file_;
     file_ = nullptr;
-}
-
-TraceReader::TraceReader(const std::string &path)
-{
-    file_ = std::fopen(path.c_str(), "rb");
-    if (!file_)
-        throw std::runtime_error("TraceReader: cannot open " + path);
-    char magic[8];
-    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
-        std::fclose(file_);
-        file_ = nullptr;
-        throw std::runtime_error("TraceReader: bad magic in " + path);
-    }
-    if (std::fread(&count_, sizeof(count_), 1, file_) != 1) {
-        std::fclose(file_);
-        file_ = nullptr;
-        throw std::runtime_error("TraceReader: truncated header");
+    if (std::fclose(f) != 0) {
+        failed_ = true;
+        throw std::runtime_error("FileSink: close failed for " + path_ +
+                                 ": " + errnoText());
     }
 }
 
-TraceReader::~TraceReader()
+namespace {
+
+using FileHandle = std::unique_ptr<std::FILE, int (*)(std::FILE *)>;
+
+/// Validated front matter of a trace file, positioned at the payload.
+struct OpenedTrace {
+    FileHandle file{nullptr, &std::fclose};
+    std::string key;
+    InstrMix mix;
+    std::uint64_t count = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t payloadHash = 0;
+};
+
+[[noreturn]] void
+badTrace(const std::string &path, const std::string &what)
 {
-    if (file_)
-        std::fclose(file_);
+    throw std::runtime_error("TraceReader: " + what + " in " + path);
+}
+
+/**
+ * Open @p path and validate everything up to (but excluding) the
+ * payload bytes: magic, version, key hash and match, mix-section
+ * hash, count-vs-mix and count-vs-payload-length consistency, and
+ * the total file size against the header.
+ */
+OpenedTrace
+openTrace(const std::string &path, const std::string &expectKey)
+{
+    auto bad = [&path](const std::string &what) {
+        badTrace(path, what);
+    };
+
+    OpenedTrace ot;
+    ot.file = FileHandle(std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!ot.file)
+        throw std::runtime_error("TraceReader: cannot open " + path +
+                                 ": " + errnoText());
+
+    std::uint8_t head[wire::headerBytes];
+    if (std::fread(head, 1, sizeof(head), ot.file.get()) !=
+        sizeof(head))
+        bad("truncated header");
+    if (std::memcmp(head, wire::magic, sizeof(wire::magic)) != 0) {
+        if (std::memcmp(head, wire::magic, sizeof(wire::magic) - 1) ==
+            0) {
+            bad("unsupported trace format revision '" +
+                std::string(1, char(head[7])) + "'");
+        }
+        bad("bad magic");
+    }
+    const std::uint32_t version = wire::getLe32(head + 8);
+    if (version != wire::formatVersion)
+        bad("unsupported format version " + std::to_string(version));
+    const std::uint32_t key_bytes = wire::getLe32(head + 12);
+    if (key_bytes > wire::maxKeyBytes)
+        bad("implausible key length " + std::to_string(key_bytes));
+    ot.count = wire::getLe64(head + 16);
+    ot.payloadBytes = wire::getLe64(head + 24);
+    ot.payloadHash = wire::getLe64(head + 32);
+    const std::uint64_t key_hash = wire::getLe64(head + 40);
+    const std::uint64_t mix_hash = wire::getLe64(head + 48);
+
+    ot.key.resize(key_bytes);
+    if (key_bytes && std::fread(ot.key.data(), 1, key_bytes,
+                                ot.file.get()) != key_bytes)
+        bad("truncated key");
+    if (wire::fnv1a(ot.key.data(), ot.key.size()) != key_hash)
+        bad("key hash mismatch");
+    if (!expectKey.empty() && ot.key != expectKey) {
+        throw TraceKeyMismatch(
+            "TraceReader: trace key mismatch (stored \"" + ot.key +
+            "\", expected \"" + expectKey + "\") in " + path);
+    }
+
+    std::uint8_t mix_raw[wire::mixBytes];
+    if (std::fread(mix_raw, 1, sizeof(mix_raw), ot.file.get()) !=
+        sizeof(mix_raw))
+        bad("truncated mix section");
+    if (wire::fnv1a(mix_raw, sizeof(mix_raw)) != mix_hash)
+        bad("mix-section hash mismatch");
+    for (int c = 0; c < numInstrClasses; ++c) {
+        ot.mix.add(static_cast<InstrClass>(c),
+                   wire::getLe64(mix_raw + 8 * c));
+    }
+    if (ot.mix.total() != ot.count) {
+        bad("mix total " + std::to_string(ot.mix.total()) +
+            " disagrees with record count " + std::to_string(ot.count));
+    }
+
+    // A record needs at least minRecordBytes, so a count the payload
+    // cannot possibly hold is rejected before any decoding.
+    if (ot.count > ot.payloadBytes / wire::minRecordBytes) {
+        bad("record count " + std::to_string(ot.count) +
+            " inconsistent with payload length " +
+            std::to_string(ot.payloadBytes));
+    }
+
+    // Validate the physical size against the header without touching
+    // the payload bytes, then reposition at the payload.
+    const long payload_at = std::ftell(ot.file.get());
+    if (payload_at < 0 ||
+        std::fseek(ot.file.get(), 0, SEEK_END) != 0) {
+        bad("size check seek failed: " + errnoText());
+    }
+    const long end_at = std::ftell(ot.file.get());
+    if (end_at < 0)
+        bad("size check tell failed: " + errnoText());
+    const std::uint64_t actual =
+        std::uint64_t(end_at) - std::uint64_t(payload_at);
+    if (actual != ot.payloadBytes) {
+        bad("payload is " + std::to_string(actual) +
+            " bytes but the header claims " +
+            std::to_string(ot.payloadBytes));
+    }
+    if (std::fseek(ot.file.get(), payload_at, SEEK_SET) != 0)
+        bad("payload seek failed: " + errnoText());
+    return ot;
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path,
+                         const std::string &expectKey)
+    : path_(path)
+{
+    OpenedTrace ot = openTrace(path, expectKey);
+    key_ = std::move(ot.key);
+    mix_ = ot.mix;
+    count_ = ot.count;
+
+    payload_.resize(ot.payloadBytes);
+    if (ot.payloadBytes &&
+        std::fread(payload_.data(), 1, ot.payloadBytes,
+                   ot.file.get()) != ot.payloadBytes) {
+        badTrace(path, "payload read failed");
+    }
+    if (wire::fnv1a(payload_.data(), payload_.size()) !=
+        ot.payloadHash) {
+        badTrace(path, "payload checksum mismatch");
+    }
+    pos_ = payload_.data();
+}
+
+TraceSummary
+readTraceSummary(const std::string &path, const std::string &expectKey)
+{
+    OpenedTrace ot = openTrace(path, expectKey);
+    TraceSummary s;
+    s.key = std::move(ot.key);
+    s.count = ot.count;
+    s.mix = ot.mix;
+    return s;
 }
 
 bool
 TraceReader::next(InstrRecord &rec)
 {
-    if (read_ >= count_)
+    const std::uint8_t *end = payload_.data() + payload_.size();
+    if (read_ >= count_) {
+        if (pos_ != end)
+            throw std::runtime_error(
+                "TraceReader: payload continues past the " +
+                std::to_string(count_) + " records promised by the "
+                "header in " + path_);
         return false;
-    PackedRecord p;
-    if (std::fread(&p, sizeof(p), 1, file_) != 1)
-        return false;
-    rec = unpack(p);
+    }
+    decoder_.decode(pos_, end, rec);
     ++read_;
     return true;
 }

@@ -1,47 +1,180 @@
 /**
  * @file
- * Binary trace serialization (the MET-style offline flow).
+ * Binary trace serialization: the UATRACE2 on-disk format.
  *
- * Format: 8-byte magic "UATRACE1", u64 record count (patched on close),
- * then packed little-endian records.
+ * Layout:
+ *
+ *   header (56 bytes, little-endian):
+ *     [ 0..7 ]  magic "UATRACE2"
+ *     [ 8..11]  u32 format version (wire::formatVersion)
+ *     [12..15]  u32 key length in bytes
+ *     [16..23]  u64 record count          (patched on close)
+ *     [24..31]  u64 payload length        (patched on close)
+ *     [32..39]  u64 payload FNV-1a hash   (patched on close)
+ *     [40..47]  u64 key FNV-1a hash
+ *     [48..55]  u64 mix-section FNV-1a hash (patched on close)
+ *   key bytes (the trace job's cache key, for exact-match validation)
+ *   mix section: per-class record counts, numInstrClasses x u64
+ *     (patched on close; lets mix-only consumers skip the payload)
+ *   payload   (delta/varint-compacted record stream)
+ *
+ * Each record is encoded as: a tag byte (instruction class, plus the
+ * branch-taken flag in bit 7), a zigzag-varint id delta, a zigzag-
+ * varint pc delta, then - for memory classes only - a zigzag-varint
+ * address delta and a raw size byte, then three dep fields encoded
+ * relative to the record's own id. Fields that are meaningless for a
+ * class (addr/size on non-memory records, taken on non-branches) are
+ * canonicalized to zero, which every consumer (PipelineSim, InstrMix)
+ * already treats as "absent".
+ *
+ * Every error path is checked: FileSink::close() throws on any failed
+ * write/flush/seek/close (the destructor reports to stderr instead),
+ * and TraceReader validates magic, version, file size against the
+ * header, the payload checksum, and per-record class/flag sanity, so a
+ * truncated or corrupted file is rejected instead of silently read as
+ * data.
  */
 
 #ifndef UASIM_TRACE_TRACE_IO_HH
 #define UASIM_TRACE_TRACE_IO_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/instr.hh"
+#include "trace/mix.hh"
 #include "trace/sink.hh"
 
 namespace uasim::trace {
 
-/// On-disk record layout (fixed width, packed).
-struct PackedRecord {
-    std::uint64_t id;
-    std::uint64_t pc;
-    std::uint64_t addr;
-    std::uint64_t deps[3];
-    std::uint8_t cls;
-    std::uint8_t size;
-    std::uint8_t taken;
-    std::uint8_t pad[5];
-};
+/**
+ * Wire-format primitives, public so tests can craft valid and
+ * deliberately corrupt trace files byte by byte.
+ */
+namespace wire {
 
-static_assert(sizeof(PackedRecord) == 56, "packed record must be 56B");
+/// Current on-disk format version; bumping it invalidates every
+/// stored trace (the TraceStore embeds it in entry file names).
+constexpr std::uint32_t formatVersion = 2;
+
+/// File magic; the trailing character tracks the major format.
+constexpr char magic[8] = {'U', 'A', 'T', 'R', 'A', 'C', 'E', '2'};
+
+/// Serialized header size in bytes.
+constexpr std::size_t headerBytes = 56;
+
+/// Serialized mix-section size in bytes (one u64 per class).
+constexpr std::size_t mixBytes = std::size_t(numInstrClasses) * 8;
+
+/// Smallest possible encoded record (tag + 5 single-byte varints).
+constexpr std::size_t minRecordBytes = 6;
+
+/// Upper bound on a plausible key length (headers claiming more are
+/// rejected as corrupt before any allocation).
+constexpr std::uint32_t maxKeyBytes = 4096;
+
+/// 64-bit FNV-1a over @p n bytes, continuing from @p state.
+std::uint64_t fnv1a(const void *data, std::size_t n,
+                    std::uint64_t state = 0xcbf29ce484222325ull);
+
+/// Append @p v to @p out as a LEB128 varint (at most 10 bytes).
+void putVarint(std::string &out, std::uint64_t v);
 
 /**
- * Sink that writes records to a binary trace file.
+ * Decode one varint from [@p p, @p end), advancing @p p.
+ * @return false on truncated or over-long (> 10 byte) encodings.
+ */
+bool getVarint(const std::uint8_t *&p, const std::uint8_t *end,
+               std::uint64_t &v);
+
+/// Zigzag-map a signed delta into an unsigned varint payload.
+constexpr std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of zigzag().
+constexpr std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Parsed/serializable UATRACE2 header.
+struct Header {
+    std::uint32_t version = formatVersion;
+    std::uint32_t keyBytes = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t payloadHash = 0;
+    std::uint64_t keyHash = 0;
+    std::uint64_t mixHash = 0;
+
+    /// Serialize to the fixed little-endian layout.
+    std::string serialize() const;
+};
+
+/// Serialize an InstrMix to the fixed little-endian mix section.
+std::string serializeMix(const InstrMix &mix);
+
+/**
+ * Stateful delta encoder for the record stream. Encoder and decoder
+ * must see the same record sequence from the start of the payload.
+ */
+class RecordEncoder
+{
+  public:
+    /// Append the encoding of @p rec to @p out.
+    void encode(const InstrRecord &rec, std::string &out);
+
+  private:
+    std::uint64_t prevId_ = 0;
+    std::uint64_t prevPc_ = 0;
+    std::uint64_t prevAddr_ = 0;
+};
+
+/// Stateful decoder matching RecordEncoder.
+class RecordDecoder
+{
+  public:
+    /**
+     * Decode one record from [@p p, @p end), advancing @p p.
+     * @throws std::runtime_error on truncated bytes, an out-of-range
+     * instruction class, or a taken flag on a non-branch.
+     */
+    void decode(const std::uint8_t *&p, const std::uint8_t *end,
+                InstrRecord &rec);
+
+  private:
+    std::uint64_t prevId_ = 0;
+    std::uint64_t prevPc_ = 0;
+    std::uint64_t prevAddr_ = 0;
+};
+
+} // namespace wire
+
+/**
+ * Sink that writes records to a UATRACE2 trace file.
  *
- * The file is finalized (count patched) by close() or the destructor.
+ * The file is finalized (count/length/checksum patched) by close(),
+ * which throws on any I/O failure - a full disk can no longer yield a
+ * truncated trace with a valid-looking header. The destructor closes
+ * as a fallback but reports failures to stderr instead of throwing.
  */
 class FileSink : public TraceSink
 {
   public:
-    /// @param path destination file; truncated if it exists.
-    explicit FileSink(const std::string &path);
+    /**
+     * @param path destination file; truncated if it exists.
+     * @param key trace-job identity stored in the file (may be empty).
+     * @throws std::runtime_error if the file cannot be created.
+     */
+    explicit FileSink(const std::string &path, std::string key = {});
     ~FileSink() override;
 
     FileSink(const FileSink &) = delete;
@@ -49,28 +182,64 @@ class FileSink : public TraceSink
 
     void append(const InstrRecord &rec) override;
 
-    /// Flush buffered records and patch the header. Idempotent.
+    /**
+     * Flush buffered records and patch the header. Idempotent.
+     * @throws std::runtime_error on any write/flush/seek/close
+     * failure (the file is closed and left invalid on disk).
+     */
     void close();
 
     std::uint64_t written() const { return written_; }
 
+    /// False once any I/O on the file has failed.
+    bool ok() const { return !failed_; }
+
   private:
     void flushBuffer();
+    void fail(const std::string &what);
 
     std::FILE *file_ = nullptr;
-    std::vector<PackedRecord> buffer_;
+    std::string path_;
+    std::string key_;
+    std::string buffer_;
+    wire::RecordEncoder encoder_;
+    InstrMix mix_;
     std::uint64_t written_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+    std::uint64_t payloadHash_ = 0xcbf29ce484222325ull;  //!< FNV basis
+    bool failed_ = false;
 };
 
 /**
- * Reader for trace files produced by FileSink.
+ * Thrown when a trace file is valid but stores a different key than
+ * the caller expected (a content-address hash collision). Kept
+ * distinct from plain corruption so the TraceStore can treat it as a
+ * miss without deleting the other job's valid entry.
+ */
+struct TraceKeyMismatch : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Reader for UATRACE2 files produced by FileSink.
+ *
+ * The whole payload is loaded and checksum-verified at construction;
+ * next() then decodes incrementally and throws on any malformed
+ * record, so a short read can never be mistaken for end-of-trace.
  */
 class TraceReader
 {
   public:
-    /// @throws std::runtime_error on missing file or bad magic.
-    explicit TraceReader(const std::string &path);
-    ~TraceReader();
+    /**
+     * @param path trace file to open.
+     * @param expectKey when non-empty, the stored key must match it
+     * exactly (the TraceStore's hash-collision guard).
+     * @throws std::runtime_error on a missing file, bad magic,
+     * unsupported version, size/header mismatch, checksum mismatch,
+     * or key mismatch.
+     */
+    explicit TraceReader(const std::string &path,
+                         const std::string &expectKey = {});
 
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
@@ -78,17 +247,50 @@ class TraceReader
     /// Total records in the file.
     std::uint64_t count() const { return count_; }
 
-    /// Read the next record. @return false at end of trace.
+    /// The trace-job key stored in the file.
+    const std::string &key() const { return key_; }
+
+    /// The instruction mix stored in the file's mix section
+    /// (hash-validated; equals the mix of the decoded stream).
+    const InstrMix &mix() const { return mix_; }
+
+    /**
+     * Read the next record. @return false at end of trace.
+     * @throws std::runtime_error if the payload is malformed or does
+     * not contain exactly count() records.
+     */
     bool next(InstrRecord &rec);
 
     /// Stream the remaining records into a sink. @return records read.
     std::uint64_t drainTo(TraceSink &sink);
 
   private:
-    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::string key_;
+    InstrMix mix_;
+    std::vector<std::uint8_t> payload_;
+    const std::uint8_t *pos_ = nullptr;
+    wire::RecordDecoder decoder_;
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
 };
+
+/**
+ * Cheap summary view of a trace file: header, key and mix section,
+ * all hash-validated, without reading (or checksumming) the payload -
+ * the file size is still verified against the header, so truncation
+ * is caught. Mix-only consumers (Table III style cells) use this to
+ * warm-start without decoding a single record.
+ */
+struct TraceSummary {
+    std::string key;
+    std::uint64_t count = 0;
+    InstrMix mix;
+};
+
+/// Read and validate a TraceSummary. @throws like TraceReader.
+TraceSummary readTraceSummary(const std::string &path,
+                              const std::string &expectKey = {});
 
 } // namespace uasim::trace
 

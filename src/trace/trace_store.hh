@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Persistent, content-addressed store of recorded kernel traces.
+ *
+ * The store maps a TraceJob key (core/sweep.hh) to a UATRACE2 file
+ * under a cache directory, so sweep grids can warm-start across
+ * processes: a job whose trace is already on disk replays it instead
+ * of re-emulating the kernel. Entries are addressed by
+ *
+ *     tr-<fnv1a64(key) in hex>-v<formatVersion>.uatrace
+ *
+ * which makes the invalidation rule purely mechanical: a new key is a
+ * new entry, and bumping wire::formatVersion orphans every old file
+ * (they are never matched, only ignored). Each file also stores the
+ * full key string, verified on load, so a 64-bit hash collision reads
+ * as a miss rather than as the wrong trace.
+ *
+ * Robustness policy: the store must never corrupt a sweep. Writes go
+ * to a temporary file that is atomically renamed into place on
+ * commit, concurrent writers of the same key both produce identical
+ * bytes and the later rename wins, and a corrupt or truncated entry
+ * is reported, deleted, and treated as a miss (the job simply records
+ * again). Only TraceStore construction throws; load()/startRecord()
+ * degrade gracefully because a broken cache must not fail the run.
+ */
+
+#ifndef UASIM_TRACE_TRACE_STORE_HH
+#define UASIM_TRACE_TRACE_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "trace/sink.hh"
+#include "trace/trace_io.hh"
+
+namespace uasim::trace {
+
+class TraceStore
+{
+  public:
+    /**
+     * Open (creating if needed) the cache directory.
+     * @throws std::runtime_error if the directory cannot be created
+     * or is not writable.
+     */
+    explicit TraceStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /// Entry file path for @p key (exists or not).
+    std::string entryPath(const std::string &key) const;
+
+    /**
+     * Probe the store and stream a stored trace into @p sink.
+     *
+     * @return the record count on a hit; std::nullopt on a miss. A
+     * corrupt entry is reported to stderr, deleted, and returned as a
+     * miss - note that @p sink may then have received a partial
+     * record stream, so callers should drain into a discardable
+     * buffer (the SweepRunner does).
+     */
+    std::optional<std::uint64_t> load(const std::string &key,
+                                      TraceSink &sink) const;
+
+    /**
+     * Probe for the header-only summary (count + hash-validated mix)
+     * of a stored trace without reading the payload - the mix-only
+     * warm-start path. Corruption policy as load().
+     */
+    std::optional<TraceSummary> loadSummary(const std::string &key) const;
+
+    /**
+     * Write-through sink for one entry: records appended to it are
+     * serialized to a temporary file that commit() atomically renames
+     * to entryPath(key). Destroying an uncommitted recorder removes
+     * the temporary file.
+     *
+     * append() never throws into the record stream: a write failure
+     * (e.g. a full disk) latches the recorder as failed, later
+     * appends become no-ops, and commit() reports the original error
+     * instead of publishing - the caller's recording pass completes
+     * uncached rather than aborting mid-trace.
+     */
+    class Recorder : public TraceSink
+    {
+      public:
+        Recorder(const std::string &tmpPath, std::string finalPath,
+                 const std::string &key);
+        ~Recorder() override;
+
+        void append(const InstrRecord &rec) override;
+
+        /**
+         * Finalize the file and publish it under the entry path.
+         * @throws std::runtime_error on any I/O failure, including a
+         * latched append() failure (the temporary file is removed
+         * first).
+         */
+        void commit();
+
+        std::uint64_t written() const { return sink_.written(); }
+
+      private:
+        FileSink sink_;
+        std::string tmpPath_;
+        std::string finalPath_;
+        std::string appendError_;
+        bool committed_ = false;
+    };
+
+    /**
+     * Start recording an entry for @p key.
+     * @return nullptr (with a stderr report) if the temporary file
+     * cannot be created - the caller just records uncached.
+     */
+    std::unique_ptr<Recorder> startRecord(const std::string &key) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace uasim::trace
+
+#endif // UASIM_TRACE_TRACE_STORE_HH

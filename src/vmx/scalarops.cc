@@ -24,34 +24,65 @@ ScalarOps::lip(const std::uint8_t *p, SL loc)
     return {p, em_->emit(InstrClass::IntAlu, loc)};
 }
 
+namespace {
+
+/// The emulated machine's integer ops wrap on overflow (two's
+/// complement), so compute in unsigned and cast back - plain signed
+/// expressions would be undefined behaviour under UBSan for the
+/// extreme operands the property tests throw at them.
+constexpr std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+constexpr std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+constexpr std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+} // namespace
+
 SInt
 ScalarOps::add(SInt a, SInt b, SL loc)
 {
-    return {a.v + b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+    return {wrapAdd(a.v, b.v),
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
 }
 
 SInt
 ScalarOps::addi(SInt a, std::int64_t imm, SL loc)
 {
-    return {a.v + imm, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+    return {wrapAdd(a.v, imm), em_->emit(InstrClass::IntAlu, loc, a.dep)};
 }
 
 SInt
 ScalarOps::sub(SInt a, SInt b, SL loc)
 {
-    return {a.v - b.v, em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
+    return {wrapSub(a.v, b.v),
+            em_->emit(InstrClass::IntAlu, loc, a.dep, b.dep)};
 }
 
 SInt
 ScalarOps::subfi(std::int64_t imm, SInt a, SL loc)
 {
-    return {imm - a.v, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+    return {wrapSub(imm, a.v), em_->emit(InstrClass::IntAlu, loc, a.dep)};
 }
 
 SInt
 ScalarOps::neg(SInt a, SL loc)
 {
-    return {-a.v, em_->emit(InstrClass::IntAlu, loc, a.dep)};
+    return {wrapSub(0, a.v), em_->emit(InstrClass::IntAlu, loc, a.dep)};
 }
 
 SInt
@@ -152,13 +183,14 @@ ScalarOps::isel(SInt cond, SInt a, SInt b, SL loc)
 SInt
 ScalarOps::mul(SInt a, SInt b, SL loc)
 {
-    return {a.v * b.v, em_->emit(InstrClass::IntMul, loc, a.dep, b.dep)};
+    return {wrapMul(a.v, b.v),
+            em_->emit(InstrClass::IntMul, loc, a.dep, b.dep)};
 }
 
 SInt
 ScalarOps::muli(SInt a, std::int64_t imm, SL loc)
 {
-    return {a.v * imm, em_->emit(InstrClass::IntMul, loc, a.dep)};
+    return {wrapMul(a.v, imm), em_->emit(InstrClass::IntMul, loc, a.dep)};
 }
 
 Ptr

@@ -9,10 +9,17 @@
  *  - a group whose single timing cell takes the streamed fast path
  *    still populates every mix-only cell and accounts its
  *    instructions as both recorded and replayed;
- *  - kernelTraceJob's warmupCalls reproduces shared-bench history.
+ *  - kernelTraceJob's warmupCalls reproduces shared-bench history;
+ *  - with a persistent store attached, a warm run replays every
+ *    cacheable trace from disk with zero re-emulation and results
+ *    bit-identical to the in-memory path, corrupt entries fall back
+ *    to re-recording, and non-cacheable jobs bypass the store.
  */
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
 
 #include "core/experiment.hh"
 #include "core/sweep.hh"
@@ -216,6 +223,161 @@ TEST(SweepRunner, SingleTimingCellGroupPopulatesAllCells)
     expectSimEqual(bufResults[0].sim, bufResults[1].sim);
     EXPECT_EQ(bufRunner.stats().instrsReplayed,
               2 * bufResults[0].traceInstrs);
+}
+
+namespace {
+
+/// Mixed plan exercising every store path: multi-config replay
+/// groups, a single-timing-cell (fused/stream) group, mix-only
+/// groups, and a warmed-up state-sensitive scalar IDCT trace.
+SweepPlan
+makeStorePlan()
+{
+    SweepPlan plan;
+    int c2 = plan.addConfig("2w", timing::CoreConfig::twoWayInOrder());
+    int c4 = plan.addConfig("4w", timing::CoreConfig::fourWayOoO());
+    const KernelSpec sad{KernelId::Sad, 16, false};
+    const KernelSpec idct{KernelId::Idct, 4, false};
+    const int execs = 4;
+
+    int multi = plan.addTrace(
+        core::kernelTraceJob(sad, Variant::Unaligned, execs));
+    plan.addCell(multi, c2);
+    plan.addCell(multi, c4);
+    plan.addCell(multi, SweepCell::mixOnly);
+
+    int fused = plan.addTrace(
+        core::kernelTraceJob(sad, Variant::Altivec, execs));
+    plan.addCell(fused, c4);
+
+    int mix_only = plan.addTrace(
+        core::kernelTraceJob(idct, Variant::Unaligned, execs));
+    plan.addCell(mix_only, SweepCell::mixOnly);
+
+    int warmed = plan.addTrace(
+        core::kernelTraceJob(idct, Variant::Scalar, execs, 12345, 2));
+    plan.addCell(warmed, c2);
+    plan.addCell(warmed, c4);
+    return plan;
+}
+
+void
+expectResultsEqual(const std::vector<core::SweepCellResult> &a,
+                   const std::vector<core::SweepCellResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].traceKey, b[i].traceKey);
+        EXPECT_EQ(a[i].configLabel, b[i].configLabel);
+        EXPECT_EQ(a[i].traceInstrs, b[i].traceInstrs);
+        expectSimEqual(a[i].sim, b[i].sim);
+        expectMixEqual(a[i].mix, b[i].mix);
+    }
+}
+
+/// Fresh per-test store directory (removed on destruction).
+struct StoreDir {
+    explicit StoreDir(const char *name)
+        : path(::testing::TempDir() + "/uasim_sweep_" + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~StoreDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+} // namespace
+
+TEST(SweepStore, WarmRunReplaysFromDiskBitIdentical)
+{
+    StoreDir dir("warm");
+    auto baseline = SweepRunner(1).run(makeStorePlan());
+
+    SweepRunner cold(1);
+    cold.attachStore(dir.path);
+    auto coldResults = cold.run(makeStorePlan());
+    expectResultsEqual(baseline, coldResults);
+    const auto &cs = cold.stats();
+    EXPECT_EQ(cs.tracesRecorded, 4u);
+    EXPECT_EQ(cs.tracesStored, 4u);
+    EXPECT_EQ(cs.tracesLoaded, 0u);
+
+    SweepRunner warm(1);
+    warm.attachStore(dir.path);
+    auto warmResults = warm.run(makeStorePlan());
+    expectResultsEqual(baseline, warmResults);
+    const auto &ws = warm.stats();
+    EXPECT_EQ(ws.tracesRecorded, 0u) << "warm run must re-record "
+                                        "zero traces";
+    EXPECT_EQ(ws.tracesLoaded, 4u);
+    EXPECT_EQ(ws.tracesStored, 0u);
+    EXPECT_EQ(ws.instrsRecorded, 0u);
+    EXPECT_EQ(ws.instrsLoaded, cs.instrsRecorded);
+    EXPECT_EQ(ws.instrsReplayed, cs.instrsReplayed);
+
+    // Warm with a thread pool: still bit-identical, still zero
+    // re-recording.
+    SweepRunner warm4(4);
+    warm4.attachStore(dir.path);
+    expectResultsEqual(baseline, warm4.run(makeStorePlan()));
+    EXPECT_EQ(warm4.stats().tracesRecorded, 0u);
+}
+
+TEST(SweepStore, CorruptEntryFallsBackToRecordingAndHeals)
+{
+    StoreDir dir("heal");
+    SweepRunner cold(1);
+    cold.attachStore(dir.path);
+    auto baseline = cold.run(makeStorePlan());
+
+    // Truncate one published entry (the multi-cell SAD trace).
+    const auto plan = makeStorePlan();
+    const std::string victim = plan.traces()[0].key;
+    const auto path = cold.store()->entryPath(victim);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    SweepRunner heal(1);
+    heal.attachStore(dir.path);
+    auto healed = heal.run(makeStorePlan());
+    expectResultsEqual(baseline, healed);
+    EXPECT_EQ(heal.stats().tracesRecorded, 1u);
+    EXPECT_EQ(heal.stats().tracesLoaded, 3u);
+    EXPECT_EQ(heal.stats().tracesStored, 1u);
+
+    // The re-recorded entry is valid again.
+    SweepRunner warm(1);
+    warm.attachStore(dir.path);
+    expectResultsEqual(baseline, warm.run(makeStorePlan()));
+    EXPECT_EQ(warm.stats().tracesLoaded, 4u);
+}
+
+TEST(SweepStore, NonCacheableJobsBypassTheStore)
+{
+    StoreDir dir("nocache");
+    int runs = 0;
+    auto makePlan = [&runs]() {
+        SweepPlan plan;
+        plan.addTrace({"side-effect", [&runs](trace::TraceSink &) {
+                           ++runs;
+                       },
+                       /*cacheable=*/false});
+        plan.addCell(0, SweepCell::mixOnly);
+        return plan;
+    };
+
+    SweepRunner first(1);
+    first.attachStore(dir.path);
+    first.run(makePlan());
+    SweepRunner second(1);
+    second.attachStore(dir.path);
+    second.run(makePlan());
+
+    EXPECT_EQ(runs, 2) << "non-cacheable jobs must run every time";
+    EXPECT_EQ(first.stats().tracesStored, 0u);
+    EXPECT_EQ(second.stats().tracesLoaded, 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(dir.path));
 }
 
 TEST(SweepTraceJob, WarmupReproducesSharedBenchHistory)

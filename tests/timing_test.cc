@@ -381,6 +381,32 @@ TEST(Pipeline, OfflineTraceFileEqualsOnline)
     EXPECT_EQ(r_online.unalignedVecOps, r_offline.unalignedVecOps);
 }
 
+TEST(Pipeline, ReadyRingScalesWithInflight)
+{
+    // Regression for the fixed 1024-entry producer-ready ring: with a
+    // scaled CoreConfig whose in-flight window exceeds it, two live
+    // instructions aliased a slot and a waiting producer read as
+    // "long retired" (ready), letting dependence chains issue early
+    // and corrupting the timing. The ring is now sized from
+    // cfg.inflight, so a serial chain can never finish in fewer
+    // cycles than its length.
+    CoreConfig cfg = CoreConfig::fourWayOoO();
+    cfg.inflight = 2048;
+    cfg.issueQ = 4096;
+    cfg.gprPhys = 4096;
+    const int n = 6000;
+    auto r = runChain(cfg, InstrClass::IntAlu, n);
+    EXPECT_EQ(r.instrs, std::uint64_t(n));
+    EXPECT_GE(r.cycles, std::uint64_t(n));
+
+    // Scaling only the window (not the machine width) must not make
+    // a dependence-free stream slower.
+    auto wide = runIndependent(cfg, InstrClass::IntAlu, n);
+    auto base = runIndependent(CoreConfig::fourWayOoO(),
+                               InstrClass::IntAlu, n);
+    EXPECT_LE(wide.cycles, base.cycles);
+}
+
 TEST(BranchPredictor, LearnsBias)
 {
     timing::BranchPredictor bp;

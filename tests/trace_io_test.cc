@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Locks the UATRACE2 serialization layer and the persistent trace
+ * store (trace/trace_io.hh, trace/trace_store.hh):
+ *  - record -> file -> replay round trips are bit-identical to the
+ *    in-memory stream, for synthetic and real kernel traces;
+ *  - the store hits/misses correctly, self-heals corrupt entries,
+ *    and never publishes an uncommitted recording;
+ *  - every corruption mode in the table (truncation, bad magic, bad
+ *    version, wrong checksum, lying header counts, invalid class
+ *    bytes) is rejected with a clear error instead of being read as
+ *    data;
+ *  - FileSink surfaces write failures (throw from close(), report
+ *    from the destructor) instead of leaving a truncated trace with
+ *    a valid-looking header - the PR 4 bug class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "trace/emitter.hh"
+#include "trace/sink.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
+
+namespace fs = std::filesystem;
+namespace ut = uasim::trace;
+using uasim::core::KernelBench;
+using uasim::core::KernelSpec;
+using uasim::h264::KernelId;
+using uasim::h264::Variant;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/uasim_" + name;
+}
+
+/// A varied record stream: every class, unaligned/decreasing
+/// addresses, taken and untaken branches, near and far deps.
+std::vector<ut::InstrRecord>
+syntheticRecords()
+{
+    ut::BufferSink buf;
+    ut::Emitter em(buf);
+    auto loc = std::source_location::current();
+    ut::Dep d0 = em.emit(ut::InstrClass::IntAlu, loc);
+    ut::Dep d1 = em.emit(ut::InstrClass::IntMul, loc, d0);
+    em.emit(ut::InstrClass::FpAlu, loc, d0, d1);
+    ut::Dep ld = em.emitMem(ut::InstrClass::Load, 0x1000, 8, loc, d1);
+    em.emitMem(ut::InstrClass::Store, 0x0fff, 4, loc, ld);  // addr down
+    em.emitMem(ut::InstrClass::VecLoad, 0xdeadbef0, 16, loc);
+    em.emitMem(ut::InstrClass::VecLoadU, 0xdeadbeef, 16, loc);
+    em.emitMem(ut::InstrClass::VecStore, 0x10, 16, loc, d0);
+    em.emitMem(ut::InstrClass::VecStoreU, 0xffffffffffff0ull, 16, loc);
+    em.emit(ut::InstrClass::VecSimple, loc, ld);
+    em.emit(ut::InstrClass::VecComplex, loc);
+    em.emit(ut::InstrClass::VecPerm, loc);
+    em.emitBranch(true, loc, d0);
+    em.emitBranch(false, loc);
+    em.emit(ut::InstrClass::IntAlu, loc, d0);  // far dep
+    return buf.records();
+}
+
+void
+expectRecordEqual(const ut::InstrRecord &want,
+                  const ut::InstrRecord &got)
+{
+    EXPECT_EQ(want.id, got.id);
+    EXPECT_EQ(want.pc, got.pc);
+    EXPECT_EQ(want.addr, got.addr);
+    EXPECT_EQ(want.deps, got.deps);
+    EXPECT_EQ(want.cls, got.cls);
+    EXPECT_EQ(want.size, got.size);
+    EXPECT_EQ(want.taken, got.taken);
+}
+
+void
+writeTrace(const std::string &path, const std::string &key,
+           const std::vector<ut::InstrRecord> &records)
+{
+    ut::FileSink sink(path, key);
+    for (const auto &rec : records)
+        sink.append(rec);
+    sink.close();
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+/// Assemble raw file bytes with self-consistent hashes; corruption
+/// tests then tamper with individual sections.
+std::string
+buildRaw(const std::string &key, std::uint64_t count,
+         const ut::InstrMix &mix, const std::string &payload)
+{
+    ut::wire::Header h;
+    h.keyBytes = std::uint32_t(key.size());
+    h.recordCount = count;
+    h.payloadBytes = payload.size();
+    h.payloadHash = ut::wire::fnv1a(payload.data(), payload.size());
+    h.keyHash = ut::wire::fnv1a(key.data(), key.size());
+    std::string mix_section = ut::wire::serializeMix(mix);
+    h.mixHash =
+        ut::wire::fnv1a(mix_section.data(), mix_section.size());
+    return h.serialize() + key + mix_section + payload;
+}
+
+/// Encode @p records and build a fully consistent raw file, with the
+/// header record count overridable to simulate a lying writer.
+std::string
+buildRawFromRecords(const std::string &key,
+                    const std::vector<ut::InstrRecord> &records,
+                    std::uint64_t claimCount)
+{
+    std::string payload;
+    ut::InstrMix mix;
+    ut::wire::RecordEncoder enc;
+    for (const auto &rec : records) {
+        enc.encode(rec, payload);
+        mix.add(rec);
+    }
+    // Keep mix.total() == claimCount so the count-vs-mix check does
+    // not fire before the condition under test.
+    ut::InstrMix claim_mix;
+    claim_mix.add(ut::InstrClass::IntAlu, claimCount);
+    return buildRaw(key, claimCount, claim_mix, payload);
+}
+
+} // namespace
+
+// ---- round trips ----
+
+TEST(TraceIoV2, SyntheticRoundTripBitIdentity)
+{
+    const std::string path = tempPath("rt_synth.uatrace");
+    const auto want = syntheticRecords();
+    writeTrace(path, "synth/key", want);
+
+    ut::TraceReader reader(path, "synth/key");
+    EXPECT_EQ(reader.count(), want.size());
+    EXPECT_EQ(reader.key(), "synth/key");
+    ut::InstrRecord rec;
+    for (const auto &w : want) {
+        ASSERT_TRUE(reader.next(rec));
+        expectRecordEqual(w, rec);
+    }
+    EXPECT_FALSE(reader.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, KernelTraceRoundTripBitIdentity)
+{
+    const std::string path = tempPath("rt_kernel.uatrace");
+    const KernelSpec spec{KernelId::Sad, 16, false};
+
+    ut::BufferSink want;
+    KernelBench direct(spec);
+    direct.recordTrace(Variant::Unaligned, 3, want);
+
+    {
+        ut::FileSink sink(path, "sad16");
+        KernelBench recorder(spec);
+        recorder.recordTrace(Variant::Unaligned, 3, sink);
+        sink.close();
+        EXPECT_TRUE(sink.ok());
+        EXPECT_EQ(sink.written(), want.records().size());
+    }
+
+    ut::TraceReader reader(path);
+    ASSERT_EQ(reader.count(), want.records().size());
+    ut::InstrRecord rec;
+    for (const auto &w : want.records()) {
+        ASSERT_TRUE(reader.next(rec));
+        expectRecordEqual(w, rec);
+    }
+    EXPECT_FALSE(reader.next(rec));
+
+    // The stored mix section matches the stream.
+    ut::CountingSink counted;
+    for (const auto &w : want.records())
+        counted.append(w);
+    ut::TraceReader reader2(path);
+    for (int c = 0; c < ut::numInstrClasses; ++c) {
+        auto cls = static_cast<ut::InstrClass>(c);
+        EXPECT_EQ(reader2.mix().count(cls), counted.mix().count(cls));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("rt_empty.uatrace");
+    writeTrace(path, "empty", {});
+    ut::TraceReader reader(path, "empty");
+    EXPECT_EQ(reader.count(), 0u);
+    ut::InstrRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, SummaryReadsCountAndMixWithoutPayloadDecode)
+{
+    const std::string path = tempPath("summary.uatrace");
+    const auto want = syntheticRecords();
+    writeTrace(path, "summary/key", want);
+
+    auto sum = ut::readTraceSummary(path, "summary/key");
+    EXPECT_EQ(sum.key, "summary/key");
+    EXPECT_EQ(sum.count, want.size());
+    EXPECT_EQ(sum.mix.total(), want.size());
+    EXPECT_EQ(sum.mix.count(ut::InstrClass::Branch), 2u);
+
+    // The summary path deliberately skips the payload checksum (the
+    // mix has its own hash); the full reader still rejects the file.
+    std::string bytes = readAll(path);
+    bytes.back() = char(bytes.back() ^ 0x5a);
+    writeAll(path, bytes);
+    EXPECT_NO_THROW(ut::readTraceSummary(path));
+    EXPECT_THROW(ut::TraceReader reader(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// ---- corruption table ----
+
+class TraceIoCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tempPath("corrupt.uatrace");
+        writeTrace(path_, "corrupt/key", syntheticRecords());
+        bytes_ = readAll(path_);
+        ASSERT_GT(bytes_.size(), ut::wire::headerBytes);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /// Rewrite the file with @p bytes and expect open to fail with
+    /// @p needle somewhere in the error text.
+    void
+    expectRejected(const std::string &bytes, const std::string &needle)
+    {
+        writeAll(path_, bytes);
+        try {
+            ut::TraceReader reader(path_);
+            FAIL() << "expected open to reject (" << needle << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "actual error: " << e.what();
+        }
+    }
+
+    std::string path_;
+    std::string bytes_;
+};
+
+TEST_F(TraceIoCorruption, TruncatedPayloadRejected)
+{
+    expectRejected(bytes_.substr(0, bytes_.size() - 1),
+                   "header claims");
+}
+
+TEST_F(TraceIoCorruption, TruncatedHeaderRejected)
+{
+    expectRejected(bytes_.substr(0, 20), "truncated header");
+}
+
+TEST_F(TraceIoCorruption, TrailingGarbageRejected)
+{
+    expectRejected(bytes_ + "junk", "header claims");
+}
+
+TEST_F(TraceIoCorruption, BadMagicRejected)
+{
+    std::string b = bytes_;
+    b[0] = 'X';
+    expectRejected(b, "bad magic");
+}
+
+TEST_F(TraceIoCorruption, OldFormatRevisionRejected)
+{
+    std::string b = bytes_;
+    b[7] = '1';  // the UATRACE1 magic
+    expectRejected(b, "unsupported trace format revision");
+}
+
+TEST_F(TraceIoCorruption, BadVersionFieldRejected)
+{
+    std::string b = bytes_;
+    b[8] = 99;
+    expectRejected(b, "unsupported format version");
+}
+
+TEST_F(TraceIoCorruption, PayloadChecksumMismatchRejected)
+{
+    std::string b = bytes_;
+    b.back() = char(b.back() ^ 0xff);
+    expectRejected(b, "checksum mismatch");
+}
+
+TEST_F(TraceIoCorruption, MixSectionTamperRejected)
+{
+    // First mix byte lives right after the header and the key.
+    std::string b = bytes_;
+    std::size_t at =
+        ut::wire::headerBytes + std::string("corrupt/key").size();
+    b[at] = char(b[at] ^ 0x01);
+    expectRejected(b, "mix-section hash mismatch");
+}
+
+TEST_F(TraceIoCorruption, LyingRecordCountRejected)
+{
+    // Bump the count field only: the mix total no longer agrees.
+    std::string b = bytes_;
+    b[16] = char(b[16] + 1);
+    expectRejected(b, "disagrees with record count");
+}
+
+TEST_F(TraceIoCorruption, KeyHashMismatchRejected)
+{
+    std::string b = bytes_;
+    b[40] = char(b[40] ^ 0x01);
+    expectRejected(b, "key hash mismatch");
+}
+
+TEST_F(TraceIoCorruption, WrongKeyRejected)
+{
+    writeAll(path_, bytes_);
+    EXPECT_THROW(ut::TraceReader reader(path_, "some/other/key"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoCorruption, ImplausibleCountVsPayloadRejected)
+{
+    // A consistent-looking header whose count cannot fit in the
+    // payload (each record needs >= minRecordBytes).
+    ut::InstrMix mix;
+    mix.add(ut::InstrClass::IntAlu, 100);
+    expectRejected(buildRaw("k", 100, mix, "short"), "inconsistent");
+}
+
+TEST_F(TraceIoCorruption, InvalidClassByteRejected)
+{
+    // Valid checksums over a payload whose tag byte is out of range:
+    // caught by next(), not the checksum.
+    std::string payload;
+    payload += char(0x3f);  // cls 63
+    for (int i = 0; i < 5; ++i)
+        ut::wire::putVarint(payload, 0);
+    ut::InstrMix mix;
+    mix.add(ut::InstrClass::IntAlu, 1);
+    writeAll(path_, buildRaw("k", 1, mix, payload));
+    ut::TraceReader reader(path_);
+    ut::InstrRecord rec;
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST_F(TraceIoCorruption, TakenFlagOnNonBranchRejected)
+{
+    std::string payload;
+    payload += char(std::uint8_t(ut::InstrClass::IntAlu) | 0x80);
+    for (int i = 0; i < 5; ++i)
+        ut::wire::putVarint(payload, 0);
+    ut::InstrMix mix;
+    mix.add(ut::InstrClass::IntAlu, 1);
+    writeAll(path_, buildRaw("k", 1, mix, payload));
+    ut::TraceReader reader(path_);
+    ut::InstrRecord rec;
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST_F(TraceIoCorruption, PayloadShorterThanCountRejectedAtNext)
+{
+    // Header promises 4 records, payload encodes 2 (hashes all
+    // valid): the reader must throw at the missing third record, not
+    // return a silent end-of-trace. Wide address/pc deltas make the
+    // two records exceed 4 * minRecordBytes, so the open-time length
+    // heuristic cannot catch this case - only the decoder can.
+    ut::BufferSink fat;
+    ut::Emitter em(fat);
+    auto loc = std::source_location::current();
+    em.emitMem(ut::InstrClass::VecLoadU, 0x123456789abcdefull, 16,
+               loc);
+    em.emitMem(ut::InstrClass::VecStoreU, 0xfedcba987654321ull, 16,
+               loc);
+    writeAll(path_, buildRawFromRecords("k", fat.records(), 4));
+    ut::TraceReader reader(path_);
+    ut::InstrRecord rec;
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST_F(TraceIoCorruption, PayloadLongerThanCountRejectedAtEnd)
+{
+    // Header promises 2 records, payload encodes 4: the tail must be
+    // flagged instead of silently dropped.
+    auto recs = syntheticRecords();
+    recs.resize(4);
+    writeAll(path_, buildRawFromRecords("k", recs, 2));
+    ut::TraceReader reader(path_);
+    ut::InstrRecord rec;
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST(TraceIoV2, MissingFileThrows)
+{
+    EXPECT_THROW(ut::TraceReader reader("/nonexistent/trace.bin"),
+                 std::runtime_error);
+}
+
+// ---- FileSink error paths ----
+
+TEST(FileSinkErrors, CloseThrowsOnFullDisk)
+{
+    if (!fs::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    ut::FileSink sink("/dev/full", "k");
+    for (const auto &rec : syntheticRecords())
+        sink.append(rec);
+    EXPECT_THROW(sink.close(), std::runtime_error);
+    EXPECT_FALSE(sink.ok());
+    // Idempotent after failure: the file is already closed.
+    EXPECT_NO_THROW(sink.close());
+}
+
+TEST(FileSinkErrors, DestructorReportsInsteadOfThrowing)
+{
+    if (!fs::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    EXPECT_NO_THROW({
+        ut::FileSink sink("/dev/full", "k");
+        for (const auto &rec : syntheticRecords())
+            sink.append(rec);
+        // Destructor runs here with pending buffered data.
+    });
+}
+
+TEST(FileSinkErrors, UnwritablePathThrowsAtConstruction)
+{
+    EXPECT_THROW(ut::FileSink sink("/nonexistent-dir/trace.bin"),
+                 std::runtime_error);
+}
+
+TEST(FileSinkErrors, AppendAfterCloseThrowsInsteadOfCorrupting)
+{
+    const std::string path = tempPath("closed.uatrace");
+    ut::FileSink sink(path, "k");
+    sink.close();
+    EXPECT_THROW(sink.append(syntheticRecords().front()),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(FileSinkErrors, RecorderLatchesWriteFailureInsteadOfThrowing)
+{
+    if (!fs::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    // A recording pass must complete even when the write-through
+    // target fills up: append() latches the failure, commit() throws
+    // instead of publishing, and no entry appears.
+    const std::string final_path = tempPath("never_published.uatrace");
+    std::remove(final_path.c_str());
+    ut::TraceStore::Recorder recorder("/dev/full", final_path, "k");
+    const auto recs = syntheticRecords();
+    // Enough records to overflow the 1 MiB write buffer and force a
+    // flush (and its ENOSPC) mid-recording.
+    EXPECT_NO_THROW({
+        for (int i = 0; i < 40000; ++i) {
+            for (const auto &rec : recs)
+                recorder.append(rec);
+        }
+    });
+    EXPECT_THROW(recorder.commit(), std::runtime_error);
+    EXPECT_FALSE(fs::exists(final_path));
+}
+
+// ---- TraceStore ----
+
+class TraceStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = tempPath("store_") +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(TraceStoreTest, MissThenRecordThenHitRoundTrip)
+{
+    ut::TraceStore store(dir_);
+    const std::string key = "job/key/1";
+    ut::NullSink null;
+    EXPECT_FALSE(store.load(key, null).has_value());
+    EXPECT_FALSE(store.loadSummary(key).has_value());
+
+    const auto want = syntheticRecords();
+    auto recorder = store.startRecord(key);
+    ASSERT_NE(recorder, nullptr);
+    for (const auto &rec : want)
+        recorder->append(rec);
+    recorder->commit();
+    EXPECT_TRUE(fs::exists(store.entryPath(key)));
+
+    ut::BufferSink got;
+    auto count = store.load(key, got);
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, want.size());
+    ASSERT_EQ(got.records().size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        expectRecordEqual(want[i], got.records()[i]);
+
+    auto sum = store.loadSummary(key);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(sum->count, want.size());
+    EXPECT_EQ(sum->key, key);
+}
+
+TEST_F(TraceStoreTest, EntryPathEncodesFormatVersion)
+{
+    ut::TraceStore store(dir_);
+    auto path = store.entryPath("k");
+    EXPECT_NE(path.find("-v" +
+                        std::to_string(ut::wire::formatVersion) +
+                        ".uatrace"),
+              std::string::npos);
+    // Distinct keys address distinct entries.
+    EXPECT_NE(store.entryPath("a"), store.entryPath("b"));
+}
+
+TEST_F(TraceStoreTest, CorruptEntryIsReportedRemovedAndMissed)
+{
+    ut::TraceStore store(dir_);
+    const std::string key = "job/key/corrupt";
+    auto recorder = store.startRecord(key);
+    ASSERT_NE(recorder, nullptr);
+    for (const auto &rec : syntheticRecords())
+        recorder->append(rec);
+    recorder->commit();
+
+    // Truncate the published entry.
+    const auto path = store.entryPath(key);
+    fs::resize_file(path, fs::file_size(path) - 3);
+
+    ut::BufferSink got;
+    EXPECT_FALSE(store.load(key, got).has_value());
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be removed";
+    EXPECT_FALSE(store.loadSummary(key).has_value());
+}
+
+TEST_F(TraceStoreTest, KeyCollisionIsAMissAndNeverEvictsTheVictim)
+{
+    // Simulate a 64-bit content-address collision by planting a
+    // valid entry for one key at another key's path: the load must
+    // miss (the stored key is verified byte-for-byte) but the
+    // victim's valid file must survive.
+    ut::TraceStore store(dir_);
+    auto recorder = store.startRecord("victim/key");
+    ASSERT_NE(recorder, nullptr);
+    for (const auto &rec : syntheticRecords())
+        recorder->append(rec);
+    recorder->commit();
+    fs::copy_file(store.entryPath("victim/key"),
+                  store.entryPath("other/key"));
+
+    ut::NullSink null;
+    EXPECT_FALSE(store.load("other/key", null).has_value());
+    EXPECT_FALSE(store.loadSummary("other/key").has_value());
+    EXPECT_TRUE(fs::exists(store.entryPath("other/key")))
+        << "a colliding load must not delete the victim's entry";
+}
+
+TEST_F(TraceStoreTest, AbandonedRecorderPublishesNothing)
+{
+    ut::TraceStore store(dir_);
+    const std::string key = "job/key/abandoned";
+    {
+        auto recorder = store.startRecord(key);
+        ASSERT_NE(recorder, nullptr);
+        for (const auto &rec : syntheticRecords())
+            recorder->append(rec);
+        // No commit(): destructor must clean up the temp file.
+    }
+    EXPECT_FALSE(fs::exists(store.entryPath(key)));
+    EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(TraceStoreTest, StaleTempFilesAreSweptFreshOnesSurvive)
+{
+    fs::create_directories(dir_);
+    const auto stale = fs::path(dir_) / "tr-0.uatrace.tmp-dead-0";
+    const auto fresh = fs::path(dir_) / "tr-1.uatrace.tmp-live-0";
+    const auto entry = fs::path(dir_) / "tr-2-v2.uatrace";
+    writeAll(stale.string(), "x");
+    writeAll(fresh.string(), "x");
+    writeAll(entry.string(), "x");
+    // Age the stale temp past the GC cutoff; the fresh one keeps its
+    // current mtime (a live writer in another process).
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+
+    ut::TraceStore store(dir_);
+    EXPECT_FALSE(fs::exists(stale)) << "orphaned temp must be swept";
+    EXPECT_TRUE(fs::exists(fresh)) << "recent temp must survive";
+    EXPECT_TRUE(fs::exists(entry)) << "entries must never be swept";
+}
+
+TEST_F(TraceStoreTest, UncreatableDirectoryThrows)
+{
+    EXPECT_THROW(ut::TraceStore store("/proc/uasim-no-such-store"),
+                 std::runtime_error);
+    EXPECT_THROW(ut::TraceStore store(""), std::runtime_error);
+}
