@@ -143,7 +143,13 @@ main(int argc, char **argv)
             plan.addCell(simT, c);
     }
 
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact =
+        bench::makeResult("ablation_strategies", argc, argv);
+    artifact.addParam("execs", json::Value(execs));
+    artifact.addParam("countExecs", json::Value(countExecs));
 
     core::TextTable t;
     std::vector<std::string> head{"strategy", "instrs/exec"};
@@ -154,19 +160,28 @@ main(int argc, char **argv)
 
     for (int si = 0; si < numStrats; ++si) {
         auto strat = static_cast<RealignStrategy>(si);
-        std::vector<std::string> cells{
-            std::string(vmx::strategyName(strat))};
+        const std::string name{vmx::strategyName(strat)};
+        std::vector<std::string> cells{name};
         const int rowBase = si * 4;
         cells.push_back(std::to_string(
             results[rowBase].mix.total() / countExecs));
+        artifact.addMetric(
+            name + "/instrs_per_exec",
+            double(results[rowBase].mix.total() / countExecs));
         for (int c = 0; c < 3; ++c) {
             const auto &res = results[rowBase + 1 + c].sim;
             cells.push_back(
                 core::fmt(double(res.cycles) / execs, 0));
+            artifact.addMetric(
+                name + "/cyc_per_exec/" +
+                    timing::CoreConfig::presetNames[c],
+                double(res.cycles) / execs);
         }
         t.row(cells);
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
     std::printf(
         "Reading: the 3-instruction Cell sequence recovers part of "
         "the lvxu win;\nthe 4-instruction Altivec idiom pays both "

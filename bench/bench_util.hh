@@ -7,35 +7,67 @@
 #ifndef UASIM_BENCH_BENCH_UTIL_HH
 #define UASIM_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
+#include <vector>
 
+#include "core/result.hh"
 #include "core/sweep.hh"
 #include "video/sequence.hh"
 
 namespace uasim::bench {
 
 /// Parse "--execs N" / "--frames N" style flags with a default.
+/// Like stringFlag below, a missing or non-numeric operand is fatal:
+/// atoi's silent 0 would turn a typo into a wrong-but-exit-0 run.
 inline int
 intFlag(int argc, char **argv, const char *name, int def)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], name) == 0)
-            return std::atoi(argv[i + 1]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing operand\n", name);
+                std::exit(2);
+            }
+            errno = 0;
+            char *end = nullptr;
+            const long v = std::strtol(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0' ||
+                errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+                std::fprintf(stderr, "%s: invalid number \"%s\"\n",
+                             name, argv[i + 1]);
+                std::exit(2);
+            }
+            return int(v);
+        }
     }
     return def;
 }
 
-/// Parse a "--name STR" flag with a default.
+/// Parse a "--name STR" flag with a default. A flag given without its
+/// operand is fatal: silently falling back to the default would make
+/// e.g. "--json" (PATH forgotten) look like a passing artifact run.
 inline const char *
 stringFlag(int argc, char **argv, const char *name, const char *def)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], name) == 0)
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) {
+            // A following "--flag" is a forgotten operand, not a
+            // value — "--json --quick" must not write a file named
+            // "--quick" and exit 0.
+            if (i + 1 >= argc ||
+                std::strncmp(argv[i + 1], "--", 2) == 0) {
+                std::fprintf(stderr, "%s: missing operand\n", name);
+                std::exit(2);
+            }
             return argv[i + 1];
+        }
     }
     return def;
 }
@@ -91,6 +123,12 @@ makeSweepRunner(int argc, char **argv)
 {
     core::SweepRunner runner(threadsFlag(argc, argv));
     const std::string dir = traceCacheFlag(argc, argv);
+    if (dir.empty() && boolFlag(argc, argv, "--trace-cache")) {
+        // Same rule as --json: an empty DIR (unset shell variable)
+        // must not silently run uncached with exit 0.
+        std::fprintf(stderr, "--trace-cache: empty DIR operand\n");
+        std::exit(2);
+    }
     if (!dir.empty()) {
         try {
             runner.attachStore(dir);
@@ -100,6 +138,82 @@ makeSweepRunner(int argc, char **argv)
         }
     }
     return runner;
+}
+
+/**
+ * Machine-readable artifact path ("--json PATH"); empty when absent.
+ */
+inline std::string
+jsonFlag(int argc, char **argv)
+{
+    return stringFlag(argc, argv, "--json", "");
+}
+
+/**
+ * Start a BenchResult for this bench: names it and records the shared
+ * flags every bench honors ("quick" first, so artifacts lead with the
+ * workload scale).
+ */
+inline core::BenchResult
+makeResult(const char *bench, int argc, char **argv)
+{
+    core::BenchResult r;
+    r.bench = bench;
+    r.addParam("quick", json::Value(quickFlag(argc, argv)));
+    return r;
+}
+
+/**
+ * Emit the BENCH_<name>.json artifact when "--json PATH" was given.
+ * PATH naming an existing directory (or ending in '/') places the
+ * canonically named BENCH_<bench>.json inside it; otherwise the
+ * artifact is written to PATH exactly. The write is atomic
+ * (tmp+rename) and a failure is fatal: CI consumes these artifacts,
+ * so a silently missing one must not look like a passing run.
+ */
+inline void
+writeResultArtifact(int argc, char **argv,
+                    const core::BenchResult &result)
+{
+    std::string path = jsonFlag(argc, argv);
+    if (path.empty()) {
+        // "--json ''" (e.g. an unset shell variable) is present but
+        // useless; treat it like a missing operand, not "no flag".
+        if (boolFlag(argc, argv, "--json")) {
+            std::fprintf(stderr, "--json: empty PATH operand\n");
+            std::exit(2);
+        }
+        return;
+    }
+    std::error_code ec;
+    if (path.back() == '/' ||
+        std::filesystem::is_directory(path, ec)) {
+        path = (std::filesystem::path(path) /
+                ("BENCH_" + result.bench + ".json"))
+                   .string();
+    }
+    try {
+        core::saveResultFile(result, path);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "--json: %s\n", e.what());
+        std::exit(1);
+    }
+    std::fprintf(stderr, "[json] wrote %s\n", path.c_str());
+}
+
+/**
+ * Shared epilogue for the sweep benches: attach every cell result and
+ * the runner statistics to the artifact, then emit it when "--json"
+ * was given.
+ */
+inline void
+finishArtifact(int argc, char **argv, core::BenchResult &artifact,
+               const std::vector<core::SweepCellResult> &results,
+               const core::SweepRunner &runner)
+{
+    artifact.addCells(results);
+    artifact.setStats(runner.stats());
+    writeResultArtifact(argc, argv, artifact);
 }
 
 /**

@@ -98,7 +98,15 @@ main(int argc, char **argv)
         plan.addCell(t, core::SweepCell::mixOnly);
     }
 
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact =
+        bench::makeResult("fig10_decoder_profile", argc, argv);
+    artifact.addParam("frames", json::Value(frames));
+    artifact.addParam("qp", json::Value(qp));
+    artifact.addParam("resolution",
+                      json::Value(std::string(res.label)));
 
     // Stage costs per variant, reassembled in plan cell order.
     dec::StageCosts costs[3];
@@ -141,6 +149,19 @@ main(int argc, char **argv)
                    core::fmt(est.others / hz, 3),
                    core::fmt(total_s, 3),
                    core::fmt(scalar_seconds / total_s) + "x"});
+            const std::string m =
+                name + "/" +
+                std::string(h264::variantName(
+                    static_cast<h264::Variant>(v)));
+            artifact.addMetric(m + "/mc_s", est.mc / hz);
+            artifact.addMetric(m + "/idct_s", est.idct / hz);
+            artifact.addMetric(m + "/deblock_s", est.deblock / hz);
+            artifact.addMetric(m + "/cabac_s", est.cabac / hz);
+            artifact.addMetric(m + "/video_out_s", est.videoOut / hz);
+            artifact.addMetric(m + "/others_s", est.others / hz);
+            artifact.addMetric(m + "/total_s", total_s);
+            artifact.addMetric(m + "/vs_scalar",
+                               scalar_seconds / total_s);
         }
         t.row({"", "", "", "", "", "", "", "", "", ""});
     };
@@ -154,6 +175,8 @@ main(int argc, char **argv)
     emit_rows("AVG", avg_counts);
 
     std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
     std::printf(
         "Paper reference (section V-D): Altivec is ~1.2X over scalar; "
         "unaligned\ninstructions add ~1.2X over plain Altivec (~1.49X "

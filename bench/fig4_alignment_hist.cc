@@ -22,9 +22,10 @@ using video::AlignmentHistogram;
 namespace {
 
 void
-printPanel(const char *title,
+printPanel(const char *title, const char *metricKey,
            const std::vector<std::pair<std::string,
-                                       AlignmentHistogram>> &rows)
+                                       AlignmentHistogram>> &rows,
+           core::BenchResult &artifact)
 {
     std::printf("-- %s: %% of block addresses per (addr %% 16) --\n",
                 title);
@@ -35,8 +36,12 @@ printPanel(const char *title,
     t.header(head);
     for (const auto &[name, hist] : rows) {
         std::vector<std::string> cells{name};
-        for (int o = 0; o < 16; ++o)
+        for (int o = 0; o < 16; ++o) {
             cells.push_back(core::fmt(hist.percent(o), 1));
+            artifact.addMetric(std::string(metricKey) + "/" + name +
+                                   "/" + std::to_string(o),
+                               hist.percent(o));
+        }
         t.row(cells);
     }
     std::printf("%s\n", t.str().c_str());
@@ -70,7 +75,12 @@ main(int argc, char **argv)
              /*cacheable=*/false});
         plan.addCell(t, core::SweepCell::mixOnly);
     }
-    bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact =
+        bench::makeResult("fig4_alignment_hist", argc, argv);
+    artifact.addParam("frames", json::Value(frames));
 
     std::vector<std::pair<std::string, AlignmentHistogram>> luma_ld,
         chroma_ld, luma_st, chroma_st;
@@ -82,10 +92,16 @@ main(int argc, char **argv)
         chroma_st.emplace_back(label, stats[i].chromaStore);
     }
 
-    printPanel("Fig 4(a) luma load pointers", luma_ld);
-    printPanel("Fig 4(b) chroma load pointers", chroma_ld);
-    printPanel("Fig 4(c) luma store pointers", luma_st);
-    printPanel("Fig 4(d) chroma store pointers", chroma_st);
+    printPanel("Fig 4(a) luma load pointers", "luma_load", luma_ld,
+               artifact);
+    printPanel("Fig 4(b) chroma load pointers", "chroma_load",
+               chroma_ld, artifact);
+    printPanel("Fig 4(c) luma store pointers", "luma_store", luma_st,
+               artifact);
+    printPanel("Fig 4(d) chroma store pointers", "chroma_store",
+               chroma_st, artifact);
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
 
     std::printf(
         "Paper reference: load offsets spread over the full 0..15 "

@@ -75,7 +75,11 @@ main(int argc, char **argv)
         }
     }
 
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact = bench::makeResult("fig8_kernel_speedup", argc, argv);
+    artifact.addParam("execs", json::Value(execs));
 
     core::TextTable t;
     t.header({"kernel", "core", "scalar", "altivec", "unaligned",
@@ -94,6 +98,12 @@ main(int argc, char **argv)
             t.row({spec.name(), cfg.name, core::fmt(base / cyc[0]),
                    core::fmt(base / cyc[1]), core::fmt(base / cyc[2]),
                    core::fmt(cyc[1] / cyc[2])});
+            const std::string m = spec.name() + "/" + cfg.name;
+            artifact.addMetric(m + "/scalar", base / cyc[0]);
+            artifact.addMetric(m + "/altivec", base / cyc[1]);
+            artifact.addMetric(m + "/unaligned", base / cyc[2]);
+            artifact.addMetric(m + "/unal_over_altivec",
+                               cyc[1] / cyc[2]);
         }
         for (const char *b : group_break) {
             if (spec.name() == b)
@@ -101,6 +111,8 @@ main(int argc, char **argv)
         }
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
 
     std::printf(
         "Paper reference (section V-B): luma unaligned gains 1.9X/2.6X"

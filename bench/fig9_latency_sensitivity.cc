@@ -61,7 +61,12 @@ main(int argc, char **argv)
             plan.addCell(unal, e);
     }
 
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact =
+        bench::makeResult("fig9_latency_sensitivity", argc, argv);
+    artifact.addParam("execs", json::Value(execs));
 
     core::TextTable t;
     t.header({"kernel", "equal_lat", "+1cyc", "+2cyc", "+4cyc",
@@ -73,12 +78,18 @@ main(int argc, char **argv)
         std::vector<std::string> cells{grid[s].name()};
         for (int e = 0; e < numExtras; ++e) {
             const auto &unal = results[rowBase + 1 + e].sim;
-            cells.push_back(core::fmt(double(altivec.cycles) /
-                                      double(unal.cycles)));
+            const double speedup =
+                double(altivec.cycles) / double(unal.cycles);
+            cells.push_back(core::fmt(speedup));
+            artifact.addMetric(grid[s].name() + "/+" +
+                                   std::to_string(extras[e]) + "cyc",
+                               speedup);
         }
         t.row(cells);
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
 
     std::printf(
         "Paper reference (section V-C): most kernels keep a clear "

@@ -88,7 +88,11 @@ main(int argc, char **argv)
             plan.addCell(t, c);
         }
     }
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact = bench::makeResult("table1_isa_support", argc, argv);
+    artifact.addParam("chainLen", json::Value(chainLen));
 
     core::TextTable t;
     t.header({"ISA / extension", "idiom", "ld instrs", "st instrs",
@@ -118,8 +122,17 @@ main(int argc, char **argv)
                std::to_string(vmx::strategyLoadInstrs(s)),
                std::to_string(vmx::strategyStoreInstrs(s)),
                core::fmt(chain_cyc, 1)});
+        const std::string m{vmx::strategyName(s)};
+        artifact.addMetric(m + "/ld_instrs",
+                           vmx::strategyLoadInstrs(s));
+        artifact.addMetric(m + "/st_instrs",
+                           vmx::strategyStoreInstrs(s));
+        artifact.addMetric(m + "/chain_cyc_per_load", chain_cyc);
+        artifact.addMetric(m + "/verified", ok ? 1.0 : 0.0);
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
     std::printf("Paper reference: Altivec needs lvsl+2xlvx+vperm (4), "
                 "Cell lvlx/lvrx (3),\nSSE2 movdqu is microcoded, and "
                 "only the proposed lvxu/stvxu reach 1 instruction\nfor "

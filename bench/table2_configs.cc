@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
 #include "timing/config.hh"
@@ -14,7 +15,7 @@
 using namespace uasim;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== Table II: processor configurations used in the "
                 "simulation analysis ==\n\n");
@@ -27,10 +28,15 @@ main()
     plan.addConfig("8-way", timing::CoreConfig::eightWayOoO());
     const auto &c = plan.configs();
 
+    auto artifact = bench::makeResult("table2_configs", argc, argv);
+
     auto row3 = [&](const char *name, auto get) {
         t.row({name, std::to_string(get(c[0].cfg)),
                std::to_string(get(c[1].cfg)),
                std::to_string(get(c[2].cfg))});
+        for (int i = 0; i < 3; ++i)
+            artifact.addMetric(std::string(name) + "/" + c[i].label,
+                               double(get(c[i].cfg)));
     };
 
     t.row({"issue policy", "in-order", "out-of-order", "out-of-order"});
@@ -68,6 +74,18 @@ main()
     t.row({"main memory", std::to_string(m.memLatency) + " cyc", "=",
            "="});
 
+    // The non-numeric rows travel as typed parameters.
+    artifact.addParam("issue_policy_2way", json::Value("in-order"));
+    artifact.addParam("issue_policy_4way", json::Value("out-of-order"));
+    artifact.addParam("issue_policy_8way", json::Value("out-of-order"));
+    artifact.addParam("l1d_bytes", json::Value(m.l1d.size));
+    artifact.addParam("l1i_bytes", json::Value(m.l1i.size));
+    artifact.addParam("l2_bytes", json::Value(m.l2.size));
+    artifact.addParam("l2_latency_cyc", json::Value(m.l2Latency));
+    artifact.addParam("mem_latency_cyc", json::Value(m.memLatency));
+
     std::printf("%s\n", t.str().c_str());
+
+    bench::writeResultArtifact(argc, argv, artifact);
     return 0;
 }

@@ -70,7 +70,12 @@ main(int argc, char **argv)
         }
     }
 
-    auto results = bench::makeSweepRunner(argc, argv).run(plan);
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact =
+        bench::makeResult("table3_instr_count", argc, argv);
+    artifact.addParam("execs", json::Value(execs));
 
     core::TextTable t;
     t.header({"kernel", "variant", "Total", "Int", "Loads", "Stores",
@@ -114,10 +119,19 @@ main(int argc, char **argv)
             perm_u += u.vecPerm();
         }
         double avg = sum / double(f.sizes.size());
+        const double perm_red =
+            100.0 * (1.0 - double(perm_u) / double(perm_a));
         std::printf("  %-7s avg total reduction %5.1f%%  (paper: "
                     "%4.1f%%), perm reduction %5.1f%%\n",
-                    f.name, avg, f.paper,
-                    100.0 * (1.0 - double(perm_u) / double(perm_a)));
+                    f.name, avg, f.paper, perm_red);
+        artifact.addMetric(std::string(f.name) +
+                               "/avg_total_reduction_pct",
+                           avg);
+        artifact.addMetric(std::string(f.name) +
+                               "/perm_reduction_pct",
+                           perm_red);
     }
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
     return 0;
 }

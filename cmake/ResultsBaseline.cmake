@@ -1,0 +1,95 @@
+# Machine-readable result gate: regenerate every bench's --quick
+# BENCH_*.json artifact and require bit-identical simulated fields
+# against the committed baselines/ - at --threads 1, at --threads 4,
+# and (for the trace-cache benches) cold vs warm persistent store.
+# Wall-time fields are informational and never gate (uasim-report
+# enforces the split).
+#
+# Usage (the results_baseline ctest entry):
+#   cmake -DBENCH_DIR=<bench bin dir> -DREPORT=<uasim-report>
+#         -DBASELINES=<repo baselines dir> -DWORK=<scratch dir>
+#         -DBENCHES=a,b,c -DCACHE_BENCHES=x,y
+#         [-DUPDATE=1] -P ResultsBaseline.cmake
+#
+# With -DUPDATE=1 the script regenerates the --threads 1 artifacts and
+# rewrites the baselines (uasim-report --update-baselines) instead of
+# diffing - the refresh path behind the update_baselines target.
+
+foreach(var BENCH_DIR REPORT BASELINES WORK BENCHES)
+    if(NOT ${var})
+        message(FATAL_ERROR "ResultsBaseline.cmake: pass -D${var}=...")
+    endif()
+endforeach()
+
+string(REPLACE "," ";" BENCHES "${BENCHES}")
+string(REPLACE "," ";" CACHE_BENCHES "${CACHE_BENCHES}")
+
+file(REMOVE_RECURSE ${WORK})
+
+# Run one bench, writing its artifact into ${WORK}/${outdir}/.
+function(run_bench bench outdir)
+    file(MAKE_DIRECTORY ${WORK}/${outdir})
+    execute_process(
+        COMMAND ${BENCH_DIR}/${bench} --quick ${ARGN}
+                --json ${WORK}/${outdir}/BENCH_${bench}.json
+        OUTPUT_QUIET
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${bench} --quick ${ARGN} exited ${rc}\n${err}")
+    endif()
+endfunction()
+
+# Diff two artifact sets with uasim-report; FATAL on any drift.
+function(check_report what base current)
+    execute_process(
+        COMMAND ${REPORT} ${base} ${current}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE out
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "uasim-report: ${what}: exit ${rc}\n${out}")
+    endif()
+    message(STATUS "uasim-report: ${what}: match")
+endfunction()
+
+if(UPDATE)
+    foreach(bench IN LISTS BENCHES)
+        run_bench(${bench} t1 --threads 1)
+    endforeach()
+    execute_process(
+        COMMAND ${REPORT} --update-baselines --prune ${BASELINES}
+                ${WORK}/t1
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "uasim-report --update-baselines exited ${rc}")
+    endif()
+    file(REMOVE_RECURSE ${WORK})
+    return()
+endif()
+
+foreach(bench IN LISTS BENCHES)
+    run_bench(${bench} t1 --threads 1)
+    run_bench(${bench} t4 --threads 4)
+endforeach()
+
+check_report("baselines vs --threads 1" ${BASELINES} ${WORK}/t1)
+check_report("baselines vs --threads 4" ${BASELINES} ${WORK}/t4)
+
+foreach(bench IN LISTS CACHE_BENCHES)
+    run_bench(${bench} cachecold --threads 1 --trace-cache ${WORK}/store)
+    run_bench(${bench} cachewarm --threads 1 --trace-cache ${WORK}/store)
+    # Each cache bench against its committed baseline (file pair), so
+    # the store path is gated against the same truth as the plain runs.
+    check_report("baseline vs cold-store ${bench}"
+        ${BASELINES}/BENCH_${bench}.json
+        ${WORK}/cachecold/BENCH_${bench}.json)
+endforeach()
+if(CACHE_BENCHES)
+    check_report("cold store vs warm store"
+        ${WORK}/cachecold ${WORK}/cachewarm)
+endif()
+
+file(REMOVE_RECURSE ${WORK})

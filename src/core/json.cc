@@ -1,0 +1,541 @@
+#include "core/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace uasim::json {
+
+namespace {
+
+/// Nesting depth cap for both dump() and parse(): the artifacts are a
+/// few levels deep, so anything near this is malformed or hostile.
+constexpr int maxDepth = 128;
+
+[[noreturn]] void
+typeFail(const char *want, Value::Type got)
+{
+    static const char *const names[] = {"null",   "bool",  "int",
+                                        "uint",   "double", "string",
+                                        "array",  "object"};
+    throw TypeError(std::string("expected ") + want + ", have " +
+                    names[static_cast<int>(got)]);
+}
+
+} // namespace
+
+void
+Object::set(std::string key, Value v)
+{
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value *
+Object::find(std::string_view key) const
+{
+    for (const auto &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Bool)
+        typeFail("bool", type_);
+    return bool_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (type_ == Type::Int)
+        return int_;
+    if (type_ == Type::Uint) {
+        if (uint_ > std::uint64_t(INT64_MAX))
+            throw TypeError("unsigned value exceeds int64 range");
+        return std::int64_t(uint_);
+    }
+    typeFail("integer", type_);
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (type_ == Type::Uint)
+        return uint_;
+    if (type_ == Type::Int) {
+        if (int_ < 0)
+            throw TypeError("negative value for unsigned field");
+        return std::uint64_t(int_);
+    }
+    typeFail("unsigned integer", type_);
+}
+
+double
+Value::asDouble() const
+{
+    switch (type_) {
+      case Type::Double: return double_;
+      case Type::Int:    return double(int_);
+      case Type::Uint:   return double(uint_);
+      default:           typeFail("number", type_);
+    }
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        typeFail("string", type_);
+    return string_;
+}
+
+const Array &
+Value::asArray() const
+{
+    if (type_ != Type::Array)
+        typeFail("array", type_);
+    return *array_;
+}
+
+const Object &
+Value::asObject() const
+{
+    if (type_ != Type::Object)
+        typeFail("object", type_);
+    return *object_;
+}
+
+void
+escapeString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                // UTF-8 payload bytes pass through verbatim.
+                out += char(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+formatDouble(double v)
+{
+    // JSON has no NaN/Infinity; emitting printf's "nan"/"inf" would
+    // produce a document our own parser rejects.
+    if (!std::isfinite(v))
+        throw std::invalid_argument(
+            "json: cannot serialize non-finite double");
+    // %.17g is the shortest precision guaranteed to round-trip any
+    // IEEE-754 double through a correct strtod().
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    if (depth > maxDepth)
+        throw std::runtime_error("json: dump depth limit exceeded");
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(std::size_t(indent) * std::size_t(d), ' ');
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(int_);
+        break;
+      case Type::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Type::Double:
+        out += formatDouble(double_);
+        break;
+      case Type::String:
+        escapeString(out, string_);
+        break;
+      case Type::Array:
+        if (array_->empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_->size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            (*array_)[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (object_->empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        {
+            bool first = true;
+            for (const auto &[k, v] : object_->members()) {
+                if (!first)
+                    out += ',';
+                first = false;
+                newline(depth + 1);
+                escapeString(out, k);
+                out += indent > 0 ? ": " : ":";
+                v.dumpTo(out, indent, depth + 1);
+            }
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    run()
+    {
+        skipWs();
+        Value v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError("json: " + msg + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char get() { char c = peek(); ++pos_; return c; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    void
+    expect(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            fail("invalid literal");
+        pos_ += lit.size();
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting depth limit exceeded");
+        switch (peek()) {
+          case 'n': expect("null");  return Value(nullptr);
+          case 't': expect("true");  return Value(true);
+          case 'f': expect("false"); return Value(false);
+          case '"': return Value(parseString());
+          case '[': return parseArray(depth);
+          case '{': return parseObject(depth);
+          default:  return parseNumber();
+        }
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        get(); // '['
+        Array a;
+        skipWs();
+        if (peek() == ']') {
+            get();
+            return Value(std::move(a));
+        }
+        for (;;) {
+            skipWs();
+            a.push_back(parseValue(depth + 1));
+            skipWs();
+            char c = get();
+            if (c == ']')
+                return Value(std::move(a));
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        get(); // '{'
+        Object o;
+        skipWs();
+        if (peek() == '}') {
+            get();
+            return Value(std::move(o));
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected string key in object");
+            std::string key = parseString();
+            // Object::set replaces in place, so a duplicate would
+            // silently collapse to the last value — guess-free
+            // strictness says reject it instead.
+            if (o.contains(key))
+                fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            if (get() != ':')
+                fail("expected ':' after object key");
+            skipWs();
+            o.set(std::move(key), parseValue(depth + 1));
+            skipWs();
+            char c = get();
+            if (c == '}')
+                return Value(std::move(o));
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = get();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= unsigned(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xc0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += char(0xe0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        } else {
+            out += char(0xf0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3f));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        get(); // '"'
+        std::string out;
+        for (;;) {
+            char c = get();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char e = get();
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (get() != '\\' || get() != 'u')
+                        fail("unpaired high surrogate");
+                    unsigned lo = parseHex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        if (peek() == '-') {
+            negative = true;
+            get();
+        }
+        if (atEnd() || !isDigit(peek()))
+            fail("invalid number");
+        // Leading zero may not be followed by another digit.
+        if (get() == '0' && !atEnd() && isDigit(text_[pos_]))
+            fail("leading zero in number");
+        while (!atEnd() && isDigit(text_[pos_]))
+            ++pos_;
+        bool isDouble = false;
+        if (!atEnd() && text_[pos_] == '.') {
+            isDouble = true;
+            ++pos_;
+            if (atEnd() || !isDigit(text_[pos_]))
+                fail("expected digit after decimal point");
+            while (!atEnd() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        if (!atEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            isDouble = true;
+            ++pos_;
+            if (!atEnd() && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (atEnd() || !isDigit(text_[pos_]))
+                fail("expected digit in exponent");
+            while (!atEnd() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (!isDouble) {
+            errno = 0;
+            char *end = nullptr;
+            if (!negative) {
+                std::uint64_t u = std::strtoull(token.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value(u);
+            } else if (token == "-0") {
+                // Keep the sign bit: "-0" is what %.17g writes for
+                // negative zero, and strtoll would flatten it.
+                return Value(-0.0);
+            } else {
+                std::int64_t i = std::strtoll(token.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value(i);
+            }
+            // Integer wider than 64 bits: fall through to double.
+        }
+        errno = 0;
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("invalid number");
+        // Overflow to infinity is rejected (no JSON value maps to
+        // it); underflow to a denormal/zero is a valid nearest value.
+        if (!std::isfinite(d))
+            fail("number out of double range");
+        return Value(d);
+    }
+
+    static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+} // namespace uasim::json

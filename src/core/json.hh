@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Minimal spec-correct JSON layer for the BENCH_*.json result
+ * artifacts (core/result.hh) and the uasim-report differ.
+ *
+ * Deliberately small but exact:
+ *  - Objects preserve insertion order, so a value dumps to the same
+ *    bytes every time (serialize -> parse -> serialize is
+ *    bit-identical; tests/json_test.cc locks this).
+ *  - Numbers keep their integer/floating identity: integers are
+ *    written as exact decimal (full uint64/int64 range, no double
+ *    detour), doubles via "%.17g" so strtod() recovers the exact
+ *    same IEEE-754 bits.
+ *  - The writer escapes everything RFC 8259 requires (quote,
+ *    backslash, control characters); non-ASCII bytes are assumed to
+ *    be UTF-8 and passed through.
+ *  - The parser is strict: it rejects trailing garbage, raw control
+ *    characters in strings, malformed escapes/surrogate pairs,
+ *    leading zeros, duplicate object keys, and unreasonable nesting
+ *    depth, instead of guessing.
+ */
+
+#ifndef UASIM_CORE_JSON_HH
+#define UASIM_CORE_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uasim::json {
+
+/// Error thrown by parse() on malformed input.
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/// Error thrown by the as*() accessors on a type mismatch.
+class TypeError : public std::runtime_error
+{
+  public:
+    explicit TypeError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+class Value;
+
+/// Insertion-ordered string -> Value map (JSON object).
+class Object
+{
+  public:
+    /// Set @p key (replacing an existing value, keeping its slot).
+    void set(std::string key, Value v);
+
+    /// Member lookup; nullptr when absent.
+    const Value *find(std::string_view key) const;
+
+    bool contains(std::string_view key) const { return find(key); }
+
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return members_;
+    }
+
+    bool empty() const { return members_.empty(); }
+    std::size_t size() const { return members_.size(); }
+
+  private:
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+using Array = std::vector<Value>;
+
+/**
+ * One JSON value. Signed and unsigned integers are distinct from
+ * doubles so 64-bit simulator counters survive a round trip exactly.
+ */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    Value() : type_(Type::Null) {}
+    Value(std::nullptr_t) : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(int v) : type_(Type::Int), int_(v) {}
+    Value(long v) : type_(Type::Int), int_(v) {}
+    Value(long long v) : type_(Type::Int), int_(v) {}
+    Value(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Value(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Value(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Value(double v) : type_(Type::Double), double_(v) {}
+    Value(const char *s) : type_(Type::String), string_(s) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(std::string_view s) : type_(Type::String), string_(s) {}
+    Value(Array a)
+        : type_(Type::Array), array_(std::make_shared<Array>(std::move(a)))
+    {}
+    Value(Object o)
+        : type_(Type::Object),
+          object_(std::make_shared<Object>(std::move(o)))
+    {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+
+    /// @name Checked accessors (throw TypeError on mismatch).
+    /// @{
+    bool asBool() const;
+    /// Any number representable as int64 without loss.
+    std::int64_t asInt() const;
+    /// Any non-negative integer number.
+    std::uint64_t asUint() const;
+    /// Any number, converted to double (ints convert exactly up to
+    /// 2^53; larger counters should be read with asUint()).
+    double asDouble() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+    /// @}
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level (the artifact style); 0 emits the compact form.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    friend class Object;
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+/// Append the JSON string literal for @p s (quotes + escapes) to @p out.
+void escapeString(std::string &out, std::string_view s);
+
+/// Format @p v the way the writer does ("%.17g", round-trippable).
+/// @throws std::invalid_argument for NaN/Infinity (not JSON values).
+std::string formatDouble(double v);
+
+/**
+ * Parse one JSON document. Strict: the whole input must be consumed
+ * (trailing whitespace allowed).
+ * @throws ParseError on malformed input.
+ */
+Value parse(std::string_view text);
+
+} // namespace uasim::json
+
+#endif // UASIM_CORE_JSON_HH

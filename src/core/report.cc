@@ -50,6 +50,29 @@ TextTable::str() const
     return os.str();
 }
 
+namespace {
+
+/// RFC 4180: cells containing the separator, a quote, or a line
+/// break must be quoted, with embedded quotes doubled.
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\r\n") == std::string::npos)
+        return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out += '"';
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 std::string
 TextTable::csv() const
 {
@@ -58,7 +81,7 @@ TextTable::csv() const
         for (std::size_t i = 0; i < r.size(); ++i) {
             if (i)
                 os << ',';
-            os << r[i];
+            os << csvCell(r[i]);
         }
         os << '\n';
     }

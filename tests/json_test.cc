@@ -1,0 +1,259 @@
+/**
+ * @file
+ * core/json.hh: writer escaping, parser strictness, number identity
+ * (u64/i64/double), and BenchResult artifact round-trip bit-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/json.hh"
+#include "core/result.hh"
+#include "timing/results.hh"
+#include "trace/instr.hh"
+
+using namespace uasim;
+using json::Value;
+
+namespace {
+
+std::string
+dumped(Value v)
+{
+    return v.dump(0);
+}
+
+} // namespace
+
+TEST(Json, EscapingTable)
+{
+    // Quote, backslash, the short escapes, other control characters
+    // as \u00XX, and UTF-8 passthrough.
+    struct Case {
+        const char *in;
+        const char *out;
+    };
+    const Case cases[] = {
+        {"plain", "\"plain\""},
+        {"say \"hi\"", "\"say \\\"hi\\\"\""},
+        {"back\\slash", "\"back\\\\slash\""},
+        {"a\tb\nc\rd", "\"a\\tb\\nc\\rd\""},
+        {"\b\f", "\"\\b\\f\""},
+        {"\x01\x1f", "\"\\u0001\\u001f\""},
+        {"caf\xc3\xa9 \xe2\x82\xac", "\"caf\xc3\xa9 \xe2\x82\xac\""},
+        {"", "\"\""},
+    };
+    for (const auto &c : cases) {
+        EXPECT_EQ(dumped(Value(c.in)), c.out) << c.in;
+        // And the parser inverts the escape exactly.
+        EXPECT_EQ(json::parse(c.out).asString(), c.in) << c.out;
+    }
+}
+
+TEST(Json, ParserUnicodeEscapes)
+{
+    EXPECT_EQ(json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(json::parse("\"\\u20ac\"").asString(), "\xe2\x82\xac");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    EXPECT_THROW(json::parse("\"\\ud83d\""), json::ParseError);
+    EXPECT_THROW(json::parse("\"\\ude00\""), json::ParseError);
+    EXPECT_THROW(json::parse("\"\\u12g4\""), json::ParseError);
+}
+
+TEST(Json, ParserStrictness)
+{
+    EXPECT_THROW(json::parse("{} trailing"), json::ParseError);
+    EXPECT_THROW(json::parse("{\"a\":1,}"), json::ParseError);
+    EXPECT_THROW(json::parse("[1 2]"), json::ParseError);
+    EXPECT_THROW(json::parse("\"raw\ncontrol\""), json::ParseError);
+    EXPECT_THROW(json::parse("01"), json::ParseError);
+    EXPECT_THROW(json::parse("1."), json::ParseError);
+    EXPECT_THROW(json::parse(".5"), json::ParseError);
+    EXPECT_THROW(json::parse("1e"), json::ParseError);
+    EXPECT_THROW(json::parse("nul"), json::ParseError);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), json::ParseError);
+    EXPECT_THROW(json::parse("{a:1}"), json::ParseError);
+    // Duplicate keys would silently collapse to the last value.
+    EXPECT_THROW(json::parse("{\"a\":1,\"a\":2}"), json::ParseError);
+    EXPECT_THROW(json::parse(""), json::ParseError);
+    EXPECT_THROW(json::parse("\"open"), json::ParseError);
+    // NaN / Infinity are not JSON.
+    EXPECT_THROW(json::parse("NaN"), json::ParseError);
+    EXPECT_THROW(json::parse("-Infinity"), json::ParseError);
+}
+
+TEST(Json, IntegerIdentity)
+{
+    // 64-bit counters survive exactly (no double detour).
+    const std::uint64_t big = 0xffffffffffffffffull;
+    EXPECT_EQ(dumped(Value(big)), "18446744073709551615");
+    EXPECT_EQ(json::parse("18446744073709551615").asUint(), big);
+    EXPECT_EQ(json::parse("-9223372036854775808").asInt(),
+              std::numeric_limits<std::int64_t>::min());
+    // The simulator's cycle counts exceed 2^53 in principle; verify
+    // the parser does not round them through a double.
+    const std::uint64_t odd = (1ull << 60) + 1;
+    EXPECT_EQ(json::parse(dumped(Value(odd))).asUint(), odd);
+}
+
+TEST(Json, DoubleRoundTripBitIdentity)
+{
+    const double cases[] = {
+        0.0,
+        1.0 / 3.0,
+        0.1,
+        -2.5e-10,
+        3.141592653589793,
+        123456789.12345679,
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        5404319552844595.0 / 4503599627370496.0,  // random mantissa
+    };
+    for (double d : cases) {
+        const std::string text = json::formatDouble(d);
+        const double back = json::parse(text).asDouble();
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+                  std::bit_cast<std::uint64_t>(d))
+            << text;
+        // And the re-serialization is textually identical.
+        EXPECT_EQ(json::formatDouble(back), text);
+    }
+    // Negative zero keeps its sign bit through the writer+parser.
+    const double negZero = -0.0;
+    EXPECT_EQ(json::formatDouble(negZero), "-0");
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                  json::parse("-0").asDouble()),
+              std::bit_cast<std::uint64_t>(negZero));
+}
+
+TEST(Json, NonFiniteDoublesRejectedBothWays)
+{
+    // JSON has no NaN/Infinity: the writer must refuse (not emit
+    // printf's "nan"/"inf", which our own parser rejects), and the
+    // parser must reject overflow-to-infinity numbers.
+    EXPECT_THROW(json::formatDouble(std::nan("")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        Value(std::numeric_limits<double>::infinity()).dump(0),
+        std::invalid_argument);
+    EXPECT_THROW(json::parse("1e999"), json::ParseError);
+    EXPECT_THROW(json::parse("-1e999"), json::ParseError);
+    // Underflow is not an error: the nearest value is finite.
+    EXPECT_EQ(json::parse("1e-999").asDouble(), 0.0);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    json::Object o;
+    o.set("zulu", Value(1));
+    o.set("alpha", Value(2));
+    o.set("mike", Value(3));
+    o.set("zulu", Value(9));  // replace keeps the slot
+    EXPECT_EQ(dumped(Value(std::move(o))),
+              "{\"zulu\":9,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(Json, TypeErrors)
+{
+    EXPECT_THROW(Value(1.5).asUint(), json::TypeError);
+    EXPECT_THROW(Value("x").asDouble(), json::TypeError);
+    EXPECT_THROW(Value(-1).asUint(), json::TypeError);
+    EXPECT_THROW(Value(std::uint64_t(1) << 63).asInt(),
+                  json::TypeError);
+    EXPECT_THROW(Value(true).asString(), json::TypeError);
+    EXPECT_NO_THROW(Value(std::uint64_t(7)).asInt());
+    EXPECT_NO_THROW(Value(7).asUint());
+}
+
+namespace {
+
+/// A BenchResult exercising every field with awkward content.
+core::BenchResult
+syntheticResult()
+{
+    core::BenchResult r;
+    r.bench = "synthetic_bench";
+    r.addParam("quick", Value(true));
+    r.addParam("name with, comma \"quote\"", Value("value\nnewline"));
+    r.addParam("execs", Value(-3));
+    r.addParam("scale", Value(1.0 / 3.0));
+    r.addMetric("kernel/metric one", 2.0);
+    r.addMetric("kernel/metric two", 0.30000000000000004);
+    core::ResultCell c;
+    c.trace = "luma16x16/unaligned/8/12345";
+    c.config = "4w+net";
+    c.traceInstrs = (1ull << 60) + 12345;
+    c.sim.core = "4-way";
+    c.sim.cycles = 0xfedcba9876543210ull;
+    c.sim.instrs = 42;
+    c.sim.mispredicts = 7;
+    c.mix.add(trace::InstrClass::VecLoadU, 1234567890123ull);
+    c.mix.add(trace::InstrClass::IntAlu, 5);
+    r.cells.push_back(c);
+    core::SweepStats s;
+    s.threads = 4;
+    s.cellsRun = 1;
+    s.instrsReplayed = 99;
+    s.tracesRecorded = 1;
+    s.wallSeconds = 0.12345678901234567;
+    s.recordSeconds = 1e-9;
+    r.setStats(s);
+    return r;
+}
+
+} // namespace
+
+TEST(Json, BenchResultSerializeParseSerializeBitIdentity)
+{
+    const core::BenchResult original = syntheticResult();
+    const std::string once = original.serialize();
+    const core::BenchResult parsed = core::BenchResult::parse(once);
+    EXPECT_EQ(parsed.serialize(), once);
+
+    // The baseline form (informational stripped) round-trips too and
+    // is genuinely smaller.
+    const std::string baseline = original.serialize(false);
+    EXPECT_LT(baseline.size(), once.size());
+    const core::BenchResult reparsed =
+        core::BenchResult::parse(baseline);
+    EXPECT_FALSE(reparsed.hasInformational);
+    EXPECT_TRUE(reparsed.hasStats);
+    EXPECT_EQ(reparsed.serialize(), baseline);
+
+    // And the parsed copy is diff-identical to the original.
+    const auto diff = core::diffResults(original, parsed);
+    EXPECT_EQ(diff.status, core::DiffStatus::Match);
+}
+
+TEST(Json, BenchResultSchemaValidation)
+{
+    EXPECT_THROW(core::BenchResult::parse("not json"),
+                 core::SchemaError);
+    EXPECT_THROW(core::BenchResult::parse("{}"), core::SchemaError);
+    EXPECT_THROW(
+        core::BenchResult::parse(
+            "{\"schema\":\"other\",\"schemaVersion\":1,"
+            "\"bench\":\"x\",\"params\":{},\"metrics\":{},"
+            "\"cells\":[]}"),
+        core::SchemaError);
+    // A future schema version must be rejected, not misread.
+    EXPECT_THROW(
+        core::BenchResult::parse(
+            "{\"schema\":\"uasim-bench-result\",\"schemaVersion\":2,"
+            "\"bench\":\"x\",\"params\":{},\"metrics\":{},"
+            "\"cells\":[]}"),
+        core::SchemaError);
+    // Minimal valid artifact.
+    EXPECT_NO_THROW(core::BenchResult::parse(
+        "{\"schema\":\"uasim-bench-result\",\"schemaVersion\":1,"
+        "\"bench\":\"x\",\"params\":{},\"metrics\":{},"
+        "\"cells\":[]}"));
+}
