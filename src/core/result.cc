@@ -88,19 +88,7 @@ mixFromJson(const json::Value &v, const char *where)
     return mix;
 }
 
-/**
- * The one SimResult counter table: serialization, parsing, and diff
- * gating all iterate this list, so a future counter added here is
- * automatically carried by the artifact AND gated by uasim-report —
- * it cannot serialize yet silently never gate. (Adding one is a
- * simulated-schema change: bump BenchResult::schemaVersion.)
- */
-struct SimField {
-    const char *name;
-    std::uint64_t timing::SimResult::*member;
-};
-
-constexpr SimField simFields[] = {
+constexpr SimResultField simFields[] = {
     {"cycles", &timing::SimResult::cycles},
     {"instrs", &timing::SimResult::instrs},
     {"branches", &timing::SimResult::branches},
@@ -120,7 +108,7 @@ simToJson(const timing::SimResult &s)
 {
     json::Object o;
     o.set("core", s.core);
-    for (const SimField &f : simFields)
+    for (const SimResultField &f : simResultFields())
         o.set(f.name, s.*f.member);
     return json::Value(std::move(o));
 }
@@ -131,7 +119,7 @@ simFromJson(const json::Value &v, const char *where)
     const json::Object &o = v.asObject();
     timing::SimResult s;
     s.core = requireString(o, "core", where);
-    for (const SimField &f : simFields)
+    for (const SimResultField &f : simResultFields())
         s.*f.member = requireUint(o, f.name, where);
     return s;
 }
@@ -182,6 +170,12 @@ checkEq(Lines &lines, const std::string &what, const T &base,
 }
 
 } // namespace
+
+std::span<const SimResultField>
+simResultFields()
+{
+    return simFields;
+}
 
 void
 BenchResult::addParam(const std::string &name, json::Value v)
@@ -272,6 +266,7 @@ BenchResult::toJson(bool includeInformational) const
             info.set("tracesStored", stats.tracesStored);
             info.set("instrsRecorded", stats.instrsRecorded);
             info.set("instrsLoaded", stats.instrsLoaded);
+            info.set("replayPasses", stats.replayPasses);
             info.set("recordSeconds", stats.recordSeconds);
             info.set("replaySeconds", stats.replaySeconds);
             info.set("streamSeconds", stats.streamSeconds);
@@ -348,6 +343,12 @@ BenchResult::fromJson(const json::Value &v)
                     requireUint(io, "instrsRecorded", "informational");
                 r.stats.instrsLoaded =
                     requireUint(io, "instrsLoaded", "informational");
+                // Added after schemaVersion 1 artifacts already
+                // existed; optional so old informational blocks
+                // (informational additions don't bump the schema)
+                // still parse.
+                if (const json::Value *rp = io.find("replayPasses"))
+                    r.stats.replayPasses = rp->asUint();
                 r.stats.recordSeconds =
                     requireDouble(io, "recordSeconds", "informational");
                 r.stats.replaySeconds =
@@ -481,7 +482,7 @@ diffResults(const BenchResult &base, const BenchResult &cur)
         checkEq(gate, id + ".traceInstrs", b.traceInstrs,
                 c.traceInstrs);
         checkEq(gate, id + ".sim.core", b.sim.core, c.sim.core);
-        for (const SimField &f : simFields)
+        for (const SimResultField &f : simResultFields())
             checkEq(gate, id + ".sim." + f.name, b.sim.*f.member,
                     c.sim.*f.member);
         for (int k = 0; k < trace::numInstrClasses; ++k) {
@@ -512,7 +513,8 @@ diffResults(const BenchResult &base, const BenchResult &cur)
                << json::formatDouble(cur.stats.wallSeconds)
                << "s (threads " << cur.stats.threads << ", recorded "
                << cur.stats.tracesRecorded << ", loaded "
-               << cur.stats.tracesLoaded << ")";
+               << cur.stats.tracesLoaded << ", replay passes "
+               << cur.stats.replayPasses << ")";
             report.notes.push_back(os.str());
         }
     }

@@ -31,6 +31,7 @@
 #define UASIM_CORE_RESULT_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +51,24 @@ class SchemaError : public std::runtime_error
         : std::runtime_error(what)
     {}
 };
+
+/// One row of the SimResult counter table (see simResultFields()).
+struct SimResultField {
+    const char *name;
+    std::uint64_t timing::SimResult::*member;
+};
+
+/**
+ * The one SimResult counter table: artifact serialization, parsing,
+ * diff gating, and the batched-vs-percell differential tests all
+ * iterate this list, so a future counter added here is automatically
+ * carried by the artifact, gated by uasim-report, AND compared across
+ * both replay engines — it cannot serialize yet silently never gate,
+ * nor be modeled in PipelineSim but forgotten in BatchedPipelineSim.
+ * (Adding one is a simulated-schema change: bump
+ * BenchResult::schemaVersion.)
+ */
+std::span<const SimResultField> simResultFields();
 
 /// One sweep cell of the artifact (== one SweepCellResult).
 struct ResultCell {

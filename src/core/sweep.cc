@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "timing/batched_pipeline.hh"
 #include "timing/pipeline.hh"
 #include "trace/trace_buffer.hh"
 
@@ -54,6 +55,26 @@ void
 SweepPlan::addCell(int trace, int config)
 {
     cells_.push_back({trace, config});
+}
+
+bool
+parseReplayMode(const std::string &name, ReplayMode &mode)
+{
+    if (name == "batched") {
+        mode = ReplayMode::Batched;
+        return true;
+    }
+    if (name == "percell") {
+        mode = ReplayMode::PerCell;
+        return true;
+    }
+    return false;
+}
+
+const char *
+replayModeName(ReplayMode mode)
+{
+    return mode == ReplayMode::Batched ? "batched" : "percell";
 }
 
 void
@@ -103,7 +124,7 @@ SweepRunner::run(const SweepPlan &plan)
     struct WorkerTotals {
         std::uint64_t recorded = 0, loaded = 0, replayed = 0,
                       traces = 0, tracesLoaded = 0, tracesStored = 0,
-                      cells = 0;
+                      cells = 0, replayPasses = 0;
         double recordSec = 0, replaySec = 0, streamSec = 0,
                loadSec = 0;
     };
@@ -151,6 +172,46 @@ SweepRunner::run(const SweepPlan &plan)
                     }
                 }
 
+                // Replay a captured record stream into every timing
+                // cell of the group: one BatchedPipelineSim pass over
+                // the buffer in Batched mode, or one PipelineSim walk
+                // per cell in the PerCell reference mode. The two fill
+                // identical results (tests/batched_replay_test.cc);
+                // only pass count and wall time differ.
+                auto replayCells = [&](const trace::TraceBuffer &buf) {
+                    if (replayMode_ == ReplayMode::Batched) {
+                        std::vector<int> cis;
+                        std::vector<timing::CoreConfig> cfgs;
+                        for (int ci : group.cellIndices) {
+                            const SweepCell &cell = plan.cells()[ci];
+                            if (cell.config == SweepCell::mixOnly)
+                                continue;
+                            cis.push_back(ci);
+                            cfgs.push_back(
+                                plan.configs()[cell.config].cfg);
+                        }
+                        timing::BatchedPipelineSim batch(cfgs);
+                        buf.replayInto(batch);
+                        auto sims = batch.finalizeAll();
+                        for (std::size_t i = 0; i < cis.size(); ++i)
+                            results[cis[i]].sim = std::move(sims[i]);
+                        local.replayed += buf.size() * cis.size();
+                        ++local.replayPasses;
+                    } else {
+                        for (int ci : group.cellIndices) {
+                            const SweepCell &cell = plan.cells()[ci];
+                            if (cell.config == SweepCell::mixOnly)
+                                continue;
+                            timing::PipelineSim sim(
+                                plan.configs()[cell.config].cfg);
+                            buf.replayInto(sim);
+                            results[ci].sim = sim.finalize();
+                            local.replayed += buf.size();
+                            ++local.replayPasses;
+                        }
+                    }
+                };
+
                 trace::InstrMix mix;
                 bool fromStore = false;
 
@@ -184,6 +245,7 @@ SweepRunner::run(const SweepPlan &plan)
                         local.replaySec += secondsSince(t0);
                         local.loaded += mix.total();
                         local.replayed += mix.total();
+                        ++local.replayPasses;
                         ++local.tracesLoaded;
                         fromStore = true;
                     }
@@ -200,16 +262,7 @@ SweepRunner::run(const SweepPlan &plan)
                         fromStore = true;
                         mix = storedBuf.mix();
                         auto t1 = Clock::now();
-                        for (int ci : group.cellIndices) {
-                            const SweepCell &cell = plan.cells()[ci];
-                            if (cell.config == SweepCell::mixOnly)
-                                continue;
-                            timing::PipelineSim sim(
-                                plan.configs()[cell.config].cfg);
-                            storedBuf.replayInto(sim);
-                            results[ci].sim = sim.finalize();
-                            local.replayed += storedBuf.size();
-                        }
+                        replayCells(storedBuf);
                         local.replaySec += secondsSince(t1);
                     }
                 }
@@ -265,6 +318,7 @@ SweepRunner::run(const SweepPlan &plan)
                     local.streamSec += secondsSince(t0);
                     local.recorded += mix.total();
                     local.replayed += mix.total();
+                    ++local.replayPasses;
                     commitRecorder();
                 } else if (timingCells == 0) {
                     auto t0 = Clock::now();
@@ -293,16 +347,7 @@ SweepRunner::run(const SweepPlan &plan)
                     local.recorded += buffer.size();
                     commitRecorder();
                     auto t1 = Clock::now();
-                    for (int ci : group.cellIndices) {
-                        const SweepCell &cell = plan.cells()[ci];
-                        if (cell.config == SweepCell::mixOnly)
-                            continue;
-                        timing::PipelineSim sim(
-                            plan.configs()[cell.config].cfg);
-                        buffer.replayInto(sim);
-                        results[ci].sim = sim.finalize();
-                        local.replayed += buffer.size();
-                    }
+                    replayCells(buffer);
                     local.replaySec += secondsSince(t1);
                 }
 
@@ -337,6 +382,7 @@ SweepRunner::run(const SweepPlan &plan)
         totals.tracesLoaded += local.tracesLoaded;
         totals.tracesStored += local.tracesStored;
         totals.cells += local.cells;
+        totals.replayPasses += local.replayPasses;
         totals.recordSec += local.recordSec;
         totals.replaySec += local.replaySec;
         totals.streamSec += local.streamSec;
@@ -365,6 +411,7 @@ SweepRunner::run(const SweepPlan &plan)
     stats_.instrsRecorded = totals.recorded;
     stats_.instrsLoaded = totals.loaded;
     stats_.instrsReplayed = totals.replayed;
+    stats_.replayPasses = totals.replayPasses;
     stats_.recordSeconds = totals.recordSec;
     stats_.replaySeconds = totals.replaySec;
     stats_.streamSeconds = totals.streamSec;

@@ -82,6 +82,25 @@ struct SweepCell {
     int config = mixOnly;
 };
 
+/**
+ * How a multi-timing-cell trace group is replayed.
+ *
+ * Batched (the default) advances every cell of the group from one
+ * pass over the record stream (timing::BatchedPipelineSim); PerCell
+ * re-walks the buffer once per cell with a standalone PipelineSim.
+ * The two are bit-identical in every simulated field
+ * (tests/batched_replay_test.cc is the differential harness), so
+ * PerCell exists as the reference oracle and for debugging, not as a
+ * different model.
+ */
+enum class ReplayMode { Batched, PerCell };
+
+/// Parse a --replay-mode value. @return false on an unknown name.
+bool parseReplayMode(const std::string &name, ReplayMode &mode);
+
+/// "batched" or "percell".
+const char *replayModeName(ReplayMode mode);
+
 /// Declarative sweep description.
 class SweepPlan
 {
@@ -151,6 +170,17 @@ struct SweepStats {
     std::uint64_t instrsRecorded = 0;  //!< emulated records, all traces
     std::uint64_t instrsLoaded = 0;    //!< records read from the store
     std::uint64_t instrsReplayed = 0;  //!< records fed to timing sims
+    /**
+     * Decode/replay passes over trace record streams that fed timing
+     * simulators: a fused or streamed single-cell group is 1 pass, a
+     * batched multi-cell group is 1 pass for the whole group, a
+     * per-cell multi-cell group is 1 pass per timing cell, and
+     * mix-only groups contribute none. Informational (it describes
+     * how the run executed, not what was simulated): instrsReplayed
+     * stays the summed trace length over all timing cells in every
+     * mode.
+     */
+    std::uint64_t replayPasses = 0;
     double recordSeconds = 0;  //!< pure record passes, summed across workers
     double replaySeconds = 0;  //!< buffer-replay passes, summed across workers
     double streamSeconds = 0;  //!< fused record+simulate fast-path passes
@@ -189,6 +219,10 @@ class SweepRunner
     /// The attached store, or nullptr.
     trace::TraceStore *store() const { return store_.get(); }
 
+    /// Select how multi-cell groups replay (default Batched).
+    void setReplayMode(ReplayMode mode) { replayMode_ = mode; }
+    ReplayMode replayMode() const { return replayMode_; }
+
     /// Run the plan. @return per-cell results in plan cell order.
     std::vector<SweepCellResult> run(const SweepPlan &plan);
 
@@ -201,6 +235,7 @@ class SweepRunner
     int threads_;
     SweepStats stats_;
     std::unique_ptr<trace::TraceStore> store_;
+    ReplayMode replayMode_ = ReplayMode::Batched;
 };
 
 /**

@@ -211,10 +211,26 @@ PipelineSim::tryIssue(Slot &slot)
         if (forwarder) {
             ++res_.storeForwards;
         } else {
+            // Serialized banks: a line-crossing load occupies a
+            // second read port in the same cycle - but only on a
+            // machine that has one. A single-ported core serializes
+            // the second bank access in the load pipe instead;
+            // demanding two ports of a one-port machine made the
+            // load permanently unissuable and deadlocked the ROB
+            // (found by the batched-vs-percell differential harness
+            // on randomized configs). The check runs before the
+            // cache access so a port-starved retry cannot touch
+            // cache state or counters.
+            bool crosses =
+                mem_.l1d().lineAddr(rec.addr) !=
+                mem_.l1d().lineAddr(rec.addr + rec.size - 1);
+            if (crosses && !cfg_.mem.parallelBanks &&
+                cfg_.dReadPorts >= 2 && readPorts_ < 2) {
+                return false;
+            }
             bool would_miss =
                 !mem_.l1d().probe(mem_.l1d().lineAddr(rec.addr)) ||
-                (mem_.l1d().lineAddr(rec.addr) !=
-                     mem_.l1d().lineAddr(rec.addr + rec.size - 1) &&
+                (crosses &&
                  !mem_.l1d().probe(
                      mem_.l1d().lineAddr(rec.addr + rec.size - 1)));
             if (would_miss &&
@@ -225,11 +241,8 @@ PipelineSim::tryIssue(Slot &slot)
             extra = acc.extraLatency;
             if (acc.crossedLine) {
                 ++res_.lineCrossings;
-                if (!cfg_.mem.parallelBanks) {
-                    if (readPorts_ < 2)
-                        return false;
+                if (!cfg_.mem.parallelBanks && cfg_.dReadPorts >= 2)
                     --readPorts_;
-                }
             }
             if (acc.l1Miss)
                 mshr_.push_back(now_ + cfg_.lat.load + extra);

@@ -6,6 +6,7 @@
 #ifndef UASIM_TRACE_SINK_HH
 #define UASIM_TRACE_SINK_HH
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -28,6 +29,19 @@ class TraceSink
 
     /// Consume one record. Called once per dynamic instruction, in order.
     virtual void append(const InstrRecord &rec) = 0;
+
+    /**
+     * Consume a contiguous block of records, in order. Semantically
+     * identical to append()ing each record; sinks that can exploit
+     * batching (block decoders upstream, the batched replay engine
+     * downstream) override this to skip the per-record virtual call.
+     */
+    virtual void
+    appendBlock(const InstrRecord *recs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            append(recs[i]);
+    }
 };
 
 /// Sink that discards everything (pure functional execution).
@@ -58,6 +72,12 @@ class BufferSink : public TraceSink
     append(const InstrRecord &rec) override
     {
         records_.push_back(rec);
+    }
+
+    void
+    appendBlock(const InstrRecord *recs, std::size_t n) override
+    {
+        records_.insert(records_.end(), recs, recs + n);
     }
 
     const std::vector<InstrRecord> &records() const { return records_; }
@@ -94,6 +114,13 @@ class TeeSink : public TraceSink
     {
         first_->append(rec);
         second_->append(rec);
+    }
+
+    void
+    appendBlock(const InstrRecord *recs, std::size_t n) override
+    {
+        first_->appendBlock(recs, n);
+        second_->appendBlock(recs, n);
     }
 
   private:

@@ -34,6 +34,14 @@ class TraceBuffer : public TraceSink
         mix_.add(rec);
     }
 
+    void
+    appendBlock(const InstrRecord *recs, std::size_t n) override
+    {
+        records_.insert(records_.end(), recs, recs + n);
+        for (std::size_t i = 0; i < n; ++i)
+            mix_.add(recs[i]);
+    }
+
     /// Number of buffered records.
     std::size_t size() const { return records_.size(); }
 
@@ -46,8 +54,7 @@ class TraceBuffer : public TraceSink
     void
     replayInto(TraceSink &down) const
     {
-        for (const InstrRecord &rec : records_)
-            down.append(rec);
+        down.appendBlock(records_.data(), records_.size());
     }
 
     /// Drop the buffered stream (keeps capacity).

@@ -1,7 +1,9 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 
@@ -41,6 +43,28 @@ getLe64(const std::uint8_t *p)
     for (int i = 0; i < 8; ++i)
         v |= std::uint64_t{p[i]} << (8 * i);
     return v;
+}
+
+/**
+ * Varint read without end-of-buffer checks: the caller guarantees at
+ * least 10 readable bytes. Consumes exactly the bytes getVarint would
+ * and applies the same over-long (> 10 byte) rule, so the two are
+ * interchangeable wherever the guarantee holds.
+ */
+inline bool
+getVarintUnchecked(const std::uint8_t *&p, std::uint64_t &v)
+{
+    std::uint64_t byte = *p++;
+    v = byte & 0x7f;
+    int shift = 7;
+    while (byte & 0x80) {
+        if (shift >= 70)
+            return false;  // over-long encoding
+        byte = *p++;
+        v |= (byte & 0x7f) << shift;
+        shift += 7;
+    }
+    return true;
 }
 
 } // namespace
@@ -180,6 +204,70 @@ RecordDecoder::decode(const std::uint8_t *&p, const std::uint8_t *end,
             truncated();
         dep = v ? rec.id - std::uint64_t(unzigzag(v - 1)) : 0;
     }
+}
+
+std::size_t
+RecordDecoder::decodeBlock(const std::uint8_t *&p,
+                           const std::uint8_t *end, InstrRecord *out,
+                           std::size_t maxRecords)
+{
+    auto truncated = [] {
+        throw std::runtime_error(
+            "trace payload truncated mid-record");
+    };
+    std::size_t n = 0;
+    while (n < maxRecords && p != end) {
+        // Checked scalar path once a record could cross the end.
+        if (std::size_t(end - p) < maxRecordBytes) {
+            decode(p, end, out[n]);
+            ++n;
+            continue;
+        }
+
+        // Fast path: every field of one record is readable without
+        // bounds checks (maxRecordBytes is the hard per-record upper
+        // bound). Same field order, same validation, same errors as
+        // decode().
+        InstrRecord &rec = out[n];
+        const std::uint8_t tag = *p++;
+        const std::uint8_t cls = tag & 0x7f;
+        if (cls >= static_cast<std::uint8_t>(InstrClass::NumClasses))
+            throw std::runtime_error(
+                "invalid instruction class byte " +
+                std::to_string(cls) + " in trace payload");
+        rec.cls = static_cast<InstrClass>(cls);
+        if ((tag & 0x80) && rec.cls != InstrClass::Branch)
+            throw std::runtime_error(
+                "taken flag set on non-branch record in trace payload");
+        rec.taken = (tag & 0x80) != 0;
+
+        std::uint64_t v;
+        if (!getVarintUnchecked(p, v))
+            truncated();
+        rec.id = prevId_ + std::uint64_t(unzigzag(v));
+        prevId_ = rec.id;
+        if (!getVarintUnchecked(p, v))
+            truncated();
+        rec.pc = prevPc_ + std::uint64_t(unzigzag(v));
+        prevPc_ = rec.pc;
+        if (isMemClass(rec.cls)) {
+            if (!getVarintUnchecked(p, v))
+                truncated();
+            rec.addr = prevAddr_ + std::uint64_t(unzigzag(v));
+            prevAddr_ = rec.addr;
+            rec.size = *p++;
+        } else {
+            rec.addr = 0;
+            rec.size = 0;
+        }
+        for (auto &dep : rec.deps) {
+            if (!getVarintUnchecked(p, v))
+                truncated();
+            dep = v ? rec.id - std::uint64_t(unzigzag(v - 1)) : 0;
+        }
+        ++n;
+    }
+    return n;
 }
 
 } // namespace wire
@@ -480,14 +568,43 @@ TraceReader::next(InstrRecord &rec)
     return true;
 }
 
+std::size_t
+TraceReader::nextBlock(InstrRecord *out, std::size_t maxRecords)
+{
+    const std::uint8_t *end = payload_.data() + payload_.size();
+    if (read_ >= count_) {
+        if (pos_ != end)
+            throw std::runtime_error(
+                "TraceReader: payload continues past the " +
+                std::to_string(count_) + " records promised by the "
+                "header in " + path_);
+        return 0;
+    }
+    const std::size_t want = std::size_t(
+        std::min<std::uint64_t>(count_ - read_, maxRecords));
+    const std::size_t got = decoder_.decodeBlock(pos_, end, out, want);
+    read_ += got;
+    if (got < want) {
+        // The payload ended on a record boundary before the count
+        // promised by the header - the same truncation next() would
+        // hit one record later.
+        throw std::runtime_error(
+            "trace payload truncated mid-record");
+    }
+    return got;
+}
+
 std::uint64_t
 TraceReader::drainTo(TraceSink &sink)
 {
-    InstrRecord rec;
+    InstrRecord block[128];
     std::uint64_t n = 0;
-    while (next(rec)) {
-        sink.append(rec);
-        ++n;
+    for (;;) {
+        const std::size_t got = nextBlock(block, std::size(block));
+        if (got == 0)
+            break;
+        sink.appendBlock(block, got);
+        n += got;
     }
     return n;
 }

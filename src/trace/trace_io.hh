@@ -72,6 +72,13 @@ constexpr std::size_t mixBytes = std::size_t(numInstrClasses) * 8;
 /// Smallest possible encoded record (tag + 5 single-byte varints).
 constexpr std::size_t minRecordBytes = 6;
 
+/// Largest possible encoded record: tag byte + 10-byte id and pc
+/// varints + 10-byte addr varint + size byte + three 10-byte dep
+/// varints. The block decoder's unchecked fast path relies on this
+/// bound: with maxRecordBytes readable it can skip every per-field
+/// end-of-buffer check.
+constexpr std::size_t maxRecordBytes = 62;
+
 /// Upper bound on a plausible key length (headers claiming more are
 /// rejected as corrupt before any allocation).
 constexpr std::uint32_t maxKeyBytes = 4096;
@@ -149,6 +156,23 @@ class RecordDecoder
      */
     void decode(const std::uint8_t *&p, const std::uint8_t *end,
                 InstrRecord &rec);
+
+    /**
+     * Decode up to @p maxRecords records from [@p p, @p end) into
+     * @p out, advancing @p p. Records are decoded on an unchecked
+     * fast path while at least maxRecordBytes remain (no per-field
+     * bounds checks), falling back to the checked scalar path near
+     * the end of the buffer, so the result is byte-for-byte identical
+     * to @p maxRecords decode() calls - including every error case
+     * (trace_io_test locks the equivalence property).
+     *
+     * @return the number of records decoded; less than @p maxRecords
+     * only when the buffer ended cleanly on a record boundary.
+     * @throws std::runtime_error exactly where decode() would.
+     */
+    std::size_t decodeBlock(const std::uint8_t *&p,
+                            const std::uint8_t *end, InstrRecord *out,
+                            std::size_t maxRecords);
 
   private:
     std::uint64_t prevId_ = 0;
@@ -261,7 +285,16 @@ class TraceReader
      */
     bool next(InstrRecord &rec);
 
-    /// Stream the remaining records into a sink. @return records read.
+    /**
+     * Read up to @p maxRecords records into @p out via the block
+     * decoder. @return the number read; 0 only at end of trace.
+     * Interleaves freely with next() (one decode stream) and applies
+     * the same malformed-payload and record-count checks.
+     */
+    std::size_t nextBlock(InstrRecord *out, std::size_t maxRecords);
+
+    /// Stream the remaining records into a sink in block-decoded
+    /// batches (TraceSink::appendBlock). @return records read.
     std::uint64_t drainTo(TraceSink &sink);
 
   private:

@@ -403,3 +403,128 @@ TEST(SweepTraceJob, WarmupReproducesSharedBenchHistory)
     job.record(sim);
     expectSimEqual(want, sim.finalize());
 }
+
+// ---- replay modes (batched vs per-cell) ----
+
+TEST(SweepReplayMode, ParseAndName)
+{
+    core::ReplayMode mode;
+    ASSERT_TRUE(core::parseReplayMode("batched", mode));
+    EXPECT_EQ(mode, core::ReplayMode::Batched);
+    ASSERT_TRUE(core::parseReplayMode("percell", mode));
+    EXPECT_EQ(mode, core::ReplayMode::PerCell);
+    EXPECT_FALSE(core::parseReplayMode("", mode));
+    EXPECT_FALSE(core::parseReplayMode("Batched", mode));
+    EXPECT_FALSE(core::parseReplayMode("per-cell", mode));
+    EXPECT_STREQ(core::replayModeName(core::ReplayMode::Batched),
+                 "batched");
+    EXPECT_STREQ(core::replayModeName(core::ReplayMode::PerCell),
+                 "percell");
+}
+
+TEST(SweepReplayMode, BatchedIsTheDefaultAndBitIdenticalToPerCell)
+{
+    SweepRunner batched(1);
+    EXPECT_EQ(batched.replayMode(), core::ReplayMode::Batched);
+    auto a = batched.run(makeStorePlan());
+
+    SweepRunner percell(1);
+    percell.setReplayMode(core::ReplayMode::PerCell);
+    auto b = percell.run(makeStorePlan());
+    expectResultsEqual(a, b);
+
+    // makeStorePlan groups: two multi-cell (2 timing cells each), one
+    // fused single-cell, one mix-only. Batched replays each multi-
+    // cell group in ONE pass; percell re-walks the buffer per cell.
+    // Mix-only groups replay nothing in either mode.
+    EXPECT_EQ(batched.stats().replayPasses, 3u);
+    EXPECT_EQ(percell.stats().replayPasses, 5u);
+
+    // The simulated instrsReplayed accounting (instructions times
+    // timing cells) must NOT depend on the pass count - it gates
+    // bit-exactly in uasim-report.
+    EXPECT_EQ(batched.stats().instrsReplayed,
+              percell.stats().instrsReplayed);
+    EXPECT_EQ(batched.stats().cellsRun, percell.stats().cellsRun);
+    EXPECT_EQ(batched.stats().instrsRecorded,
+              percell.stats().instrsRecorded);
+}
+
+TEST(SweepReplayMode, ThreadCountInvariantInBothModes)
+{
+    auto runWith = [](core::ReplayMode mode, int threads) {
+        SweepRunner runner(threads);
+        runner.setReplayMode(mode);
+        auto results = runner.run(makeStorePlan());
+        return std::pair(std::move(results), runner.stats());
+    };
+    auto [b1, sb1] = runWith(core::ReplayMode::Batched, 1);
+    auto [b4, sb4] = runWith(core::ReplayMode::Batched, 4);
+    auto [p1, sp1] = runWith(core::ReplayMode::PerCell, 1);
+    auto [p4, sp4] = runWith(core::ReplayMode::PerCell, 4);
+
+    expectResultsEqual(b1, b4);
+    expectResultsEqual(b1, p1);
+    expectResultsEqual(b1, p4);
+
+    EXPECT_EQ(sb1.replayPasses, sb4.replayPasses);
+    EXPECT_EQ(sp1.replayPasses, sp4.replayPasses);
+    EXPECT_EQ(sb1.instrsReplayed, sp4.instrsReplayed);
+}
+
+TEST(SweepReplayMode, ColdWarmStoreBitIdenticalUnderBatched)
+{
+    StoreDir dir("batched_warm");
+    auto baseline = SweepRunner(1).run(makeStorePlan());
+
+    SweepRunner cold(1);
+    cold.attachStore(dir.path);
+    auto coldResults = cold.run(makeStorePlan());
+    expectResultsEqual(baseline, coldResults);
+    const auto &cs = cold.stats();
+    EXPECT_EQ(cs.tracesRecorded, 4u);
+    EXPECT_EQ(cs.tracesLoaded, 0u);
+
+    SweepRunner warm(1);
+    warm.attachStore(dir.path);
+    auto warmResults = warm.run(makeStorePlan());
+    expectResultsEqual(baseline, warmResults);
+    const auto &ws = warm.stats();
+    EXPECT_EQ(ws.tracesRecorded, 0u);
+    EXPECT_EQ(ws.tracesLoaded, 4u);
+
+    // A store hit changes where the records come from, never how
+    // many times the group replays them or what gets simulated.
+    EXPECT_EQ(ws.replayPasses, cs.replayPasses);
+    EXPECT_EQ(ws.instrsReplayed, cs.instrsReplayed);
+
+    // Warm per-cell replay agrees too (store-hit percell path).
+    SweepRunner warmPercell(1);
+    warmPercell.setReplayMode(core::ReplayMode::PerCell);
+    warmPercell.attachStore(dir.path);
+    expectResultsEqual(baseline, warmPercell.run(makeStorePlan()));
+    EXPECT_EQ(warmPercell.stats().tracesLoaded, 4u);
+    EXPECT_GT(warmPercell.stats().replayPasses, ws.replayPasses);
+}
+
+TEST(SweepReplayMode, SingleCellAndMixOnlyPassAccounting)
+{
+    // Fused single-timing-cell group: one streamed pass.
+    SweepPlan fused;
+    int cfg = fused.addConfig("4w", timing::CoreConfig::fourWayOoO());
+    KernelBench bench({KernelId::Sad, 8, false});
+    fused.addTrace(bench.traceJob(Variant::Unaligned, 4));
+    fused.addCell(0, cfg);
+    SweepRunner runner(1);
+    runner.run(fused);
+    EXPECT_EQ(runner.stats().replayPasses, 1u);
+
+    // Mix-only group: no replay at all.
+    SweepPlan mixOnly;
+    KernelBench bench2({KernelId::Sad, 8, false});
+    mixOnly.addTrace(bench2.traceJob(Variant::Unaligned, 4));
+    mixOnly.addCell(0, SweepCell::mixOnly);
+    SweepRunner mixRunner(1);
+    mixRunner.run(mixOnly);
+    EXPECT_EQ(mixRunner.stats().replayPasses, 0u);
+}
