@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Trace-ingest throughput microbench: how fast can the UATRACE2 block
+ * decoder turn encoded payload bytes back into InstrRecords?
+ *
+ * Two corpora, because the answer depends on the payload's varint
+ * length entropy and an honest artifact must show both sides of the
+ * crossover:
+ *
+ *   dense  records cycled from real kernel traces. ~92% of varints
+ *          are one byte, so the scalar loop's length branches are
+ *          nearly always predicted and it is hard to beat.
+ *   wide   pseudo-random records with delta magnitudes up to 2^32,
+ *          i.e. multi-byte varints everywhere. The scalar loop eats
+ *          a mispredict per length change; the SIMD kernel's mask
+ *          walk is branch-light and holds its rate.
+ *
+ * Three legs per corpus (mmap on the dense one only):
+ *
+ *   scalar       the portable reference loop, forced via
+ *                simd::forceTier(Tier::Scalar)
+ *   <tier>       the best SIMD tier this host dispatches to
+ *                (trace/simd_decode.hh; equals scalar when the host
+ *                has none or UASIM_DECODE pins it)
+ *   <tier>+mmap  the same kernel decoding straight out of an mmap'd
+ *                TraceReader via a fresh TraceCursor per pass - the
+ *                store-hit replay path end to end (open/checksum cost
+ *                excluded; that is paid once per trace, not per pass)
+ *
+ * Every leg's decoded stream is cross-checked against the scalar
+ * reference (record count and a value digest) before any number is
+ * reported, so a fast-but-wrong kernel fails the bench instead of
+ * winning it. Unlike the figure/table benches this artifact reports
+ * throughput, not simulated counters - it has no committed baseline
+ * and is deliberately outside the results_baseline gate; the nightly
+ * perf-trajectory job collects BENCH_trace_decode.json instead.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "trace/simd_decode.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/trace_io.hh"
+
+using namespace uasim;
+using core::KernelBench;
+using core::KernelSpec;
+using h264::KernelId;
+using h264::Variant;
+using trace::InstrRecord;
+namespace simd = trace::simd;
+namespace wire = trace::wire;
+
+namespace {
+
+/// Count and value digest of one decoded stream; any divergence
+/// between legs is a correctness bug, not a performance result.
+struct Tally {
+    std::uint64_t records = 0;
+    std::uint64_t digest = 0;
+
+    void
+    add(const InstrRecord &rec)
+    {
+        ++records;
+        std::uint64_t h = rec.id;
+        h = h * 0x9e3779b97f4a7c15ull + rec.pc;
+        h = h * 0x9e3779b97f4a7c15ull + rec.addr;
+        h = h * 0x9e3779b97f4a7c15ull + rec.deps[0];
+        h = h * 0x9e3779b97f4a7c15ull + rec.deps[1];
+        h = h * 0x9e3779b97f4a7c15ull + rec.deps[2];
+        h = h * 0x9e3779b97f4a7c15ull +
+            (std::uint64_t(rec.size) << 16 |
+             std::uint64_t(static_cast<std::uint8_t>(rec.cls)) << 8 |
+             std::uint64_t(rec.taken));
+        digest ^= h;
+    }
+
+    bool
+    operator==(const Tally &o) const
+    {
+        return records == o.records && digest == o.digest;
+    }
+};
+
+/**
+ * A payload with real kernel statistics: record a few paper kernels
+ * once, then cycle their records through one RecordEncoder until
+ * @p records are encoded. The delta/varint length distribution is
+ * that of genuine traces, not of synthetic noise.
+ */
+std::string
+buildPayload(std::size_t records)
+{
+    trace::TraceBuffer pool;
+    const struct {
+        KernelSpec spec;
+        Variant variant;
+    } jobs[] = {
+        {{KernelId::Sad, 16, false}, Variant::Unaligned},
+        {{KernelId::LumaMc, 8, false}, Variant::Altivec},
+        {{KernelId::Idct, 4, false}, Variant::Scalar},
+    };
+    for (const auto &job : jobs) {
+        KernelBench bench(job.spec);
+        bench.recordTrace(job.variant, 2, pool);
+    }
+
+    const auto &src = pool.records();
+    wire::RecordEncoder enc;
+    std::string payload;
+    payload.reserve(records * 12);
+    for (std::size_t i = 0; i < records; ++i)
+        enc.encode(src[i % src.size()], payload);
+    return payload;
+}
+
+/**
+ * The other end of the entropy spectrum: pseudo-random records whose
+ * pc/addr deltas span up to @p maxBits bits, so multi-byte varints
+ * dominate and the scalar loop's length branches stop predicting.
+ * Deterministic seed - every run times the same payload.
+ */
+std::string
+buildWidePayload(std::size_t records, unsigned maxBits)
+{
+    std::mt19937_64 rng(42);
+    const auto delta = [&]() -> std::uint64_t {
+        const unsigned bits = unsigned(rng() % (maxBits + 1));
+        return (rng() & ((std::uint64_t(1) << bits) - 1)) -
+               (std::uint64_t(1) << (bits ? bits - 1 : 0));
+    };
+    wire::RecordEncoder enc;
+    std::string payload;
+    payload.reserve(records * 12);
+    InstrRecord rec{};
+    std::uint64_t pc = 0x400000, addr = 0x7f0000000000;
+    for (std::size_t i = 0; i < records; ++i) {
+        rec.id = i + 1;
+        pc += delta();
+        rec.pc = pc;
+        rec.cls = static_cast<trace::InstrClass>(rng() % 13);
+        rec.taken =
+            rec.cls == trace::InstrClass::Branch && (rng() & 1);
+        if (trace::isMemClass(rec.cls)) {
+            addr += delta();
+            rec.addr = addr;
+            rec.size = std::uint8_t(rng());
+        } else {
+            rec.addr = 0;
+            rec.size = 0;
+        }
+        for (auto &dep : rec.deps)
+            dep = (rng() & 3) ? 0
+                              : rec.id - 1 -
+                                    rng() % std::min<std::uint64_t>(
+                                                rec.id, 1000);
+        enc.encode(rec, payload);
+    }
+    return payload;
+}
+
+/// Decode the whole payload through RecordDecoder::decodeBlock (the
+/// reader's integration surface) with the current dispatch tier.
+/// @p tally is optional so the timed loops measure pure decode; the
+/// untimed verification passes digest every record.
+std::uint64_t
+decodeBuffer(const std::string &payload, Tally *tally = nullptr)
+{
+    wire::RecordDecoder dec;
+    static InstrRecord block[4096];
+    const auto *p =
+        reinterpret_cast<const std::uint8_t *>(payload.data());
+    const auto *end = p + payload.size();
+    std::uint64_t records = 0;
+    while (p != end) {
+        const std::size_t got = dec.decodeBlock(p, end, block, 4096);
+        if (got == 0)
+            break;
+        records += got;
+        if (tally)
+            for (std::size_t i = 0; i < got; ++i)
+                tally->add(block[i]);
+    }
+    return records;
+}
+
+/// One fresh decode pass over an opened reader (the sharded store-hit
+/// replay path: cursor per pass over the shared mapping).
+std::uint64_t
+decodeMapped(const trace::TraceReader &reader, Tally *tally = nullptr)
+{
+    trace::TraceCursor cur = reader.cursor();
+    static InstrRecord block[4096];
+    while (const std::size_t got = cur.nextBlock(block, 4096))
+        if (tally)
+            for (std::size_t i = 0; i < got; ++i)
+                tally->add(block[i]);
+    return cur.read();
+}
+
+/// Digest cross-check: a fast-but-wrong kernel must fail the bench,
+/// never win it.
+void
+verifyLeg(const char *leg, const Tally &want, const Tally &got)
+{
+    if (got == want)
+        return;
+    std::fprintf(stderr,
+                 "trace_decode: %s decoded %llu records "
+                 "(digest %016llx), scalar reference says %llu "
+                 "(%016llx) - decoder divergence\n",
+                 leg, static_cast<unsigned long long>(got.records),
+                 static_cast<unsigned long long>(got.digest),
+                 static_cast<unsigned long long>(want.records),
+                 static_cast<unsigned long long>(want.digest));
+    std::exit(1);
+}
+
+/// Best-of-@p repeat wall time of @p fn, which must decode @p records
+/// records every repetition.
+template <typename Fn>
+double
+bestSeconds(int repeat, std::uint64_t records, Fn &&fn)
+{
+    double best = 1e100;
+    for (int r = 0; r < repeat; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t got = fn();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (got != records) {
+            std::fprintf(stderr,
+                         "trace_decode: short decode (%llu of %llu "
+                         "records)\n",
+                         static_cast<unsigned long long>(got),
+                         static_cast<unsigned long long>(records));
+            std::exit(1);
+        }
+        best = std::min(best, dt.count());
+    }
+    return best;
+}
+
+void
+printLeg(const char *leg, std::size_t payloadBytes,
+         std::uint64_t records, double seconds, double scalarSeconds)
+{
+    std::printf("  %-12s %7.3f GB/s  %8.1f Mrec/s  %5.2fx scalar\n",
+                leg, double(payloadBytes) / seconds * 1e-9,
+                double(records) / seconds * 1e-6,
+                scalarSeconds / seconds);
+}
+
+/// Timed scalar + best-tier legs over one in-memory corpus; returns
+/// {scalarSeconds, simdSeconds} and prints both.
+struct CorpusTimes {
+    double scalarSec;
+    double simdSec;
+    Tally want;
+};
+
+CorpusTimes
+runCorpus(const char *name, const std::string &payload, int repeat)
+{
+    CorpusTimes t;
+    simd::forceTier(simd::Tier::Scalar);
+    decodeBuffer(payload, &t.want);
+    std::printf("%s corpus: %.1f MB payload (%.2f B/record)\n", name,
+                double(payload.size()) * 1e-6,
+                double(payload.size()) / double(t.want.records));
+    t.scalarSec = bestSeconds(repeat, t.want.records,
+                              [&] { return decodeBuffer(payload); });
+    printLeg("scalar", payload.size(), t.want.records, t.scalarSec,
+             t.scalarSec);
+
+    simd::clearForcedTier();
+    Tally simdTally;
+    decodeBuffer(payload, &simdTally);
+    verifyLeg(simd::tierName(simd::activeTier()), t.want, simdTally);
+    t.simdSec = bestSeconds(repeat, t.want.records,
+                            [&] { return decodeBuffer(payload); });
+    printLeg(simd::tierName(simd::activeTier()), payload.size(),
+             t.want.records, t.simdSec, t.scalarSec);
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t records = std::size_t(
+        bench::sizeFlag(argc, argv, "--records", 4'000'000, 200'000));
+    const int repeat =
+        bench::intFlag(argc, argv, "--repeat",
+                       bench::quickFlag(argc, argv) ? 2 : 5);
+
+    const std::string payload = buildPayload(records);
+    const simd::Tier simdTier = simd::activeTier();
+
+    std::printf("== trace_decode: UATRACE2 block-decode throughput ==\n");
+    std::printf("%zu records per corpus, best of %d, dispatch tier "
+                "%s\n\n",
+                records, repeat, simd::tierName(simdTier));
+
+    const CorpusTimes dense = runCorpus("dense", payload, repeat);
+    const double scalarSec = dense.scalarSec;
+    const double simdSec = dense.simdSec;
+    const Tally &want = dense.want;
+
+    // mmap + best tier: write the payload out as a real trace file and
+    // decode it through TraceReader cursors.
+    simd::clearForcedTier();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("uasim_trace_decode_" +
+          std::to_string(std::random_device{}()) + ".uatrace"))
+            .string();
+    double mmapSec = 0;
+    bool mapped = false;
+    {
+        {
+            wire::RecordDecoder dec;
+            InstrRecord rec;
+            const auto *p =
+                reinterpret_cast<const std::uint8_t *>(payload.data());
+            const auto *end = p + payload.size();
+            trace::FileSink sink(path, "trace_decode-bench");
+            while (p != end) {
+                dec.decode(p, end, rec);
+                sink.append(rec);
+            }
+            sink.close();
+        }
+        trace::TraceReader reader(path, "trace_decode-bench");
+        mapped = reader.mapped();
+        Tally mmapTally;
+        decodeMapped(reader, &mmapTally);
+        verifyLeg("mmap", want, mmapTally);
+        mmapSec = bestSeconds(repeat, want.records,
+                              [&] { return decodeMapped(reader); });
+        char leg[32];
+        std::snprintf(leg, sizeof(leg), "%s+%s",
+                      simd::tierName(simdTier),
+                      mapped ? "mmap" : "fread");
+        printLeg(leg, payload.size(), want.records, mmapSec, scalarSec);
+    }
+    std::filesystem::remove(path);
+
+    const std::string widePayload = buildWidePayload(records, 32);
+    std::printf("\n");
+    const CorpusTimes wide = runCorpus("wide", widePayload, repeat);
+
+    auto artifact = bench::makeResult("trace_decode", argc, argv);
+    artifact.addParam("records", json::Value(std::uint64_t(records)));
+    artifact.addParam("repeat", json::Value(repeat));
+    artifact.addParam("payloadBytes",
+                      json::Value(std::uint64_t(payload.size())));
+    artifact.addParam("simdTier",
+                      json::Value(std::string(simd::tierName(simdTier))));
+    artifact.addParam("mmap", json::Value(mapped));
+    const double gb = double(payload.size()) * 1e-9;
+    const double wgb = double(widePayload.size()) * 1e-9;
+    artifact.addMetric("dense_scalar_gbps", gb / scalarSec);
+    artifact.addMetric("dense_simd_gbps", gb / simdSec);
+    artifact.addMetric("dense_simd_speedup", scalarSec / simdSec);
+    artifact.addMetric("mmap_simd_gbps", gb / mmapSec);
+    artifact.addMetric("mmap_simd_speedup", scalarSec / mmapSec);
+    artifact.addMetric("wide_scalar_gbps", wgb / wide.scalarSec);
+    artifact.addMetric("wide_simd_gbps", wgb / wide.simdSec);
+    artifact.addMetric("wide_simd_speedup",
+                       wide.scalarSec / wide.simdSec);
+    bench::writeResultArtifact(argc, argv, artifact);
+
+    std::printf("\nLegs decode identical streams (record count + value "
+                "digest cross-checked\nagainst the scalar reference "
+                "every repetition).\n");
+    return 0;
+}

@@ -267,10 +267,13 @@ BenchResult::toJson(bool includeInformational) const
             info.set("instrsRecorded", stats.instrsRecorded);
             info.set("instrsLoaded", stats.instrsLoaded);
             info.set("replayPasses", stats.replayPasses);
+            info.set("decodeBytes", stats.decodeBytes);
+            info.set("bytesMapped", stats.bytesMapped);
             info.set("recordSeconds", stats.recordSeconds);
             info.set("replaySeconds", stats.replaySeconds);
             info.set("streamSeconds", stats.streamSeconds);
             info.set("loadSeconds", stats.loadSeconds);
+            info.set("decodeSeconds", stats.decodeSeconds);
             info.set("wallSeconds", stats.wallSeconds);
             sweep.set(informationalKey, std::move(info));
         }
@@ -349,6 +352,12 @@ BenchResult::fromJson(const json::Value &v)
                 // still parse.
                 if (const json::Value *rp = io.find("replayPasses"))
                     r.stats.replayPasses = rp->asUint();
+                if (const json::Value *db = io.find("decodeBytes"))
+                    r.stats.decodeBytes = db->asUint();
+                if (const json::Value *bm = io.find("bytesMapped"))
+                    r.stats.bytesMapped = bm->asUint();
+                if (const json::Value *ds = io.find("decodeSeconds"))
+                    r.stats.decodeSeconds = ds->asDouble();
                 r.stats.recordSeconds =
                     requireDouble(io, "recordSeconds", "informational");
                 r.stats.replaySeconds =
@@ -514,7 +523,10 @@ diffResults(const BenchResult &base, const BenchResult &cur)
                << "s (threads " << cur.stats.threads << ", recorded "
                << cur.stats.tracesRecorded << ", loaded "
                << cur.stats.tracesLoaded << ", replay passes "
-               << cur.stats.replayPasses << ")";
+               << cur.stats.replayPasses << ", decoded "
+               << cur.stats.decodeBytes << " B ("
+               << cur.stats.bytesMapped << " B mmap'd)"
+               << ")";
             report.notes.push_back(os.str());
         }
     }

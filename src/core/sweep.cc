@@ -124,10 +124,42 @@ SweepRunner::run(const SweepPlan &plan)
     struct WorkerTotals {
         std::uint64_t recorded = 0, loaded = 0, replayed = 0,
                       traces = 0, tracesLoaded = 0, tracesStored = 0,
-                      cells = 0, replayPasses = 0;
+                      cells = 0, replayPasses = 0, decodeBytes = 0,
+                      bytesMapped = 0;
         double recordSec = 0, replaySec = 0, streamSec = 0,
-               loadSec = 0;
+               loadSec = 0, decodeSec = 0;
+        int maxShards = 1;  //!< widest intra-group shard fan-out used
+
+        void
+        merge(const WorkerTotals &o)
+        {
+            recorded += o.recorded;
+            loaded += o.loaded;
+            replayed += o.replayed;
+            traces += o.traces;
+            tracesLoaded += o.tracesLoaded;
+            tracesStored += o.tracesStored;
+            cells += o.cells;
+            replayPasses += o.replayPasses;
+            decodeBytes += o.decodeBytes;
+            bytesMapped += o.bytesMapped;
+            recordSec += o.recordSec;
+            replaySec += o.replaySec;
+            streamSec += o.streamSec;
+            loadSec += o.loadSec;
+            decodeSec += o.decodeSec;
+            maxShards = std::max(maxShards, o.maxShards);
+        }
     };
+
+    // Group workers: one per trace group, capped by the group count.
+    // Thread budget the group level cannot use (fewer groups than
+    // threads - the single-big-group shape) is spent *inside* the
+    // groups as replay shards, so --threads N engages N workers
+    // either way.
+    const int poolSize =
+        std::max(1, std::min<int>(threads_, int(groups.size())));
+    const int shardBudget = std::max(1, threads_ / poolSize);
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> abortRun{false};
@@ -138,6 +170,47 @@ SweepRunner::run(const SweepPlan &plan)
 
     auto worker = [&]() {
         WorkerTotals local;
+
+        // Run fn(shard, shardTotals) on nShards shards: shard 0 on
+        // this thread, the rest on short-lived threads. Shard totals
+        // merge into the worker's only when every shard succeeded;
+        // the first shard exception rethrows here with no partial
+        // accounting, so a caller that falls back to re-recording
+        // starts from a clean slate.
+        auto runShards = [&local](int nShards, auto &&fn) {
+            if (nShards <= 1) {
+                fn(0, local);
+                return;
+            }
+            std::vector<WorkerTotals> shardTotals(nShards);
+            std::vector<std::exception_ptr> shardErrors(nShards);
+            std::vector<std::thread> shardPool;
+            shardPool.reserve(nShards - 1);
+            for (int k = 1; k < nShards; ++k) {
+                shardPool.emplace_back([&, k] {
+                    try {
+                        fn(k, shardTotals[k]);
+                    } catch (...) {
+                        shardErrors[k] = std::current_exception();
+                    }
+                });
+            }
+            try {
+                fn(0, shardTotals[0]);
+            } catch (...) {
+                shardErrors[0] = std::current_exception();
+            }
+            for (auto &t : shardPool)
+                t.join();
+            for (auto &e : shardErrors) {
+                if (e)
+                    std::rethrow_exception(e);
+            }
+            for (const auto &st : shardTotals)
+                local.merge(st);
+            local.maxShards = std::max(local.maxShards, nShards);
+        };
+
         try {
             for (;;) {
                 // Stop the whole pool at the first failure instead of
@@ -151,64 +224,146 @@ SweepRunner::run(const SweepPlan &plan)
                 const TraceGroup &group = groups[gi];
                 const TraceJob &job = plan.traces()[group.trace];
 
-                int timingCells = 0;
+                // The group's timing cells, in plan order (the shard
+                // split below partitions these contiguously, so the
+                // result layout never depends on shard count).
+                std::vector<int> timingCis;
+                std::vector<timing::CoreConfig> timingCfgs;
                 for (int ci : group.cellIndices) {
-                    if (plan.cells()[ci].config != SweepCell::mixOnly)
-                        ++timingCells;
+                    const SweepCell &cell = plan.cells()[ci];
+                    if (cell.config == SweepCell::mixOnly)
+                        continue;
+                    timingCis.push_back(ci);
+                    timingCfgs.push_back(
+                        plan.configs()[cell.config].cfg);
                 }
+                const int timingCells = int(timingCis.size());
 
                 trace::TraceStore *store =
                     (store_ && job.cacheable) ? store_.get() : nullptr;
 
                 // The single timing cell of a fused group.
-                int simCi = -1;
-                if (timingCells == 1) {
-                    for (int ci : group.cellIndices) {
-                        if (plan.cells()[ci].config !=
-                            SweepCell::mixOnly) {
-                            simCi = ci;
-                            break;
-                        }
-                    }
-                }
+                const int simCi = timingCells == 1 ? timingCis[0] : -1;
 
                 // Replay a captured record stream into every timing
-                // cell of the group: one BatchedPipelineSim pass over
-                // the buffer in Batched mode, or one PipelineSim walk
-                // per cell in the PerCell reference mode. The two fill
-                // identical results (tests/batched_replay_test.cc);
-                // only pass count and wall time differ.
+                // cell of the group: BatchedPipelineSim passes in
+                // Batched mode, one PipelineSim walk per cell in the
+                // PerCell reference mode. Spare thread budget splits
+                // the cells across shards, each replaying its slice
+                // from its own pass over the buffer - cells are
+                // mutually independent, so any split fills identical
+                // results (tests/batched_replay_test.cc and the
+                // sharding cases in tests/sweep_test.cc); only pass
+                // count and wall time differ.
                 auto replayCells = [&](const trace::TraceBuffer &buf) {
+                    const int nShards =
+                        std::min<int>(shardBudget, timingCells);
+                    const std::size_t cellsN = timingCis.size();
                     if (replayMode_ == ReplayMode::Batched) {
-                        std::vector<int> cis;
-                        std::vector<timing::CoreConfig> cfgs;
-                        for (int ci : group.cellIndices) {
-                            const SweepCell &cell = plan.cells()[ci];
-                            if (cell.config == SweepCell::mixOnly)
-                                continue;
-                            cis.push_back(ci);
-                            cfgs.push_back(
-                                plan.configs()[cell.config].cfg);
-                        }
-                        timing::BatchedPipelineSim batch(cfgs);
-                        buf.replayInto(batch);
-                        auto sims = batch.finalizeAll();
-                        for (std::size_t i = 0; i < cis.size(); ++i)
-                            results[cis[i]].sim = std::move(sims[i]);
-                        local.replayed += buf.size() * cis.size();
-                        ++local.replayPasses;
+                        runShards(nShards, [&](int k,
+                                               WorkerTotals &lt) {
+                            const std::size_t lo =
+                                cellsN * std::size_t(k) / nShards;
+                            const std::size_t hi =
+                                cellsN * std::size_t(k + 1) / nShards;
+                            std::vector<timing::CoreConfig> cfgs(
+                                timingCfgs.begin() + lo,
+                                timingCfgs.begin() + hi);
+                            timing::BatchedPipelineSim batch(cfgs);
+                            buf.replayInto(batch);
+                            auto sims = batch.finalizeAll();
+                            for (std::size_t i = lo; i < hi; ++i) {
+                                results[timingCis[i]].sim =
+                                    std::move(sims[i - lo]);
+                            }
+                            lt.replayed += buf.size() * (hi - lo);
+                            ++lt.replayPasses;
+                        });
                     } else {
-                        for (int ci : group.cellIndices) {
-                            const SweepCell &cell = plan.cells()[ci];
-                            if (cell.config == SweepCell::mixOnly)
-                                continue;
-                            timing::PipelineSim sim(
-                                plan.configs()[cell.config].cfg);
-                            buf.replayInto(sim);
-                            results[ci].sim = sim.finalize();
-                            local.replayed += buf.size();
-                            ++local.replayPasses;
+                        runShards(nShards, [&](int k,
+                                               WorkerTotals &lt) {
+                            const std::size_t lo =
+                                cellsN * std::size_t(k) / nShards;
+                            const std::size_t hi =
+                                cellsN * std::size_t(k + 1) / nShards;
+                            for (std::size_t i = lo; i < hi; ++i) {
+                                timing::PipelineSim sim(timingCfgs[i]);
+                                buf.replayInto(sim);
+                                results[timingCis[i]].sim =
+                                    sim.finalize();
+                                lt.replayed += buf.size();
+                                ++lt.replayPasses;
+                            }
+                        });
+                    }
+                };
+
+                // Store-hit analogue of replayCells: the record
+                // stream is never materialized - every shard decodes
+                // the (usually mmap'd) payload itself through an
+                // independent TraceCursor. Throws if the payload does
+                // not decode; the caller discards the entry and falls
+                // back to recording.
+                auto replayFromReader =
+                    [&](const trace::TraceReader &reader) {
+                    const int nShards =
+                        std::min<int>(shardBudget, timingCells);
+                    const std::size_t cellsN = timingCis.size();
+                    auto decodePassInto = [&](trace::TraceSink &sink,
+                                              WorkerTotals &lt) {
+                        trace::TraceCursor cur = reader.cursor();
+                        trace::InstrRecord block[1024];
+                        for (;;) {
+                            auto d0 = Clock::now();
+                            const std::size_t got =
+                                cur.nextBlock(block, std::size(block));
+                            lt.decodeSec += secondsSince(d0);
+                            if (got == 0)
+                                break;
+                            sink.appendBlock(block, got);
                         }
+                        lt.decodeBytes += reader.payloadBytes();
+                    };
+                    if (replayMode_ == ReplayMode::Batched) {
+                        runShards(nShards, [&](int k,
+                                               WorkerTotals &lt) {
+                            const std::size_t lo =
+                                cellsN * std::size_t(k) / nShards;
+                            const std::size_t hi =
+                                cellsN * std::size_t(k + 1) / nShards;
+                            std::vector<timing::CoreConfig> cfgs(
+                                timingCfgs.begin() + lo,
+                                timingCfgs.begin() + hi);
+                            auto t0 = Clock::now();
+                            timing::BatchedPipelineSim batch(cfgs);
+                            decodePassInto(batch, lt);
+                            auto sims = batch.finalizeAll();
+                            for (std::size_t i = lo; i < hi; ++i) {
+                                results[timingCis[i]].sim =
+                                    std::move(sims[i - lo]);
+                            }
+                            lt.replaySec += secondsSince(t0);
+                            lt.replayed += reader.count() * (hi - lo);
+                            ++lt.replayPasses;
+                        });
+                    } else {
+                        runShards(nShards, [&](int k,
+                                               WorkerTotals &lt) {
+                            const std::size_t lo =
+                                cellsN * std::size_t(k) / nShards;
+                            const std::size_t hi =
+                                cellsN * std::size_t(k + 1) / nShards;
+                            for (std::size_t i = lo; i < hi; ++i) {
+                                auto t0 = Clock::now();
+                                timing::PipelineSim sim(timingCfgs[i]);
+                                decodePassInto(sim, lt);
+                                results[timingCis[i]].sim =
+                                    sim.finalize();
+                                lt.replaySec += secondsSince(t0);
+                                lt.replayed += reader.count();
+                                ++lt.replayPasses;
+                            }
+                        });
                     }
                 };
 
@@ -218,11 +373,16 @@ SweepRunner::run(const SweepPlan &plan)
                 // Store probe, shaped per group kind so a hit never
                 // materializes state the cells don't need: a mix-only
                 // group reads just the header's validated mix section
-                // (no payload decode at all), a single timing cell
-                // streams the decoded records straight into its
-                // simulator, and a multi-cell group buffers once and
-                // replays per cell. Replay equivalence keeps every
-                // hit bit-identical to recording in-process.
+                // (no payload decode at all); timing groups open the
+                // entry zero-copy (mmap where available) and decode
+                // it straight into their simulators - a single cell
+                // as one streamed pass, a multi-cell group as sharded
+                // cursor passes over the shared mapping. Replay
+                // equivalence keeps every hit bit-identical to
+                // recording in-process. A payload that fails
+                // mid-decode (valid checksum, corrupt stream) is
+                // discarded like any corrupt entry and the group
+                // falls through to re-recording.
                 if (store && timingCells == 0) {
                     auto t0 = Clock::now();
                     if (auto sum = store->loadSummary(job.key)) {
@@ -233,37 +393,58 @@ SweepRunner::run(const SweepPlan &plan)
                         fromStore = true;
                     }
                 } else if (store && timingCells == 1) {
-                    auto t0 = Clock::now();
-                    timing::PipelineSim sim(
-                        plan.configs()[plan.cells()[simCi].config]
-                            .cfg);
-                    trace::CountingSink counter;
-                    trace::TeeSink tee(counter, sim);
-                    if (store->load(job.key, tee)) {
-                        results[simCi].sim = sim.finalize();
-                        mix = counter.mix();
-                        local.replaySec += secondsSince(t0);
-                        local.loaded += mix.total();
-                        local.replayed += mix.total();
-                        ++local.replayPasses;
-                        ++local.tracesLoaded;
-                        fromStore = true;
+                    if (auto reader = store->openReader(job.key)) {
+                        try {
+                            auto t0 = Clock::now();
+                            timing::PipelineSim sim(timingCfgs[0]);
+                            trace::TraceCursor cur = reader->cursor();
+                            trace::InstrRecord block[1024];
+                            for (;;) {
+                                auto d0 = Clock::now();
+                                const std::size_t got = cur.nextBlock(
+                                    block, std::size(block));
+                                local.decodeSec += secondsSince(d0);
+                                if (got == 0)
+                                    break;
+                                sim.appendBlock(block, got);
+                            }
+                            results[simCi].sim = sim.finalize();
+                            mix = reader->mix();
+                            local.replaySec += secondsSince(t0);
+                            local.decodeBytes +=
+                                reader->payloadBytes();
+                            if (reader->mapped()) {
+                                local.bytesMapped +=
+                                    reader->payloadBytes();
+                            }
+                            local.loaded += reader->count();
+                            local.replayed += reader->count();
+                            ++local.replayPasses;
+                            ++local.tracesLoaded;
+                            fromStore = true;
+                        } catch (const std::exception &e) {
+                            // The partially fed sim is discarded; the
+                            // record path below starts fresh.
+                            store->discardEntry(job.key, e.what());
+                        }
                     }
-                    // On a miss (or a corrupt entry detected mid-
-                    // drain) the partially fed sim and counter fall
-                    // out of scope; the record path starts fresh.
                 } else if (store) {
-                    trace::TraceBuffer storedBuf;
-                    auto t0 = Clock::now();
-                    if (store->load(job.key, storedBuf)) {
-                        local.loadSec += secondsSince(t0);
-                        local.loaded += storedBuf.size();
-                        ++local.tracesLoaded;
-                        fromStore = true;
-                        mix = storedBuf.mix();
-                        auto t1 = Clock::now();
-                        replayCells(storedBuf);
-                        local.replaySec += secondsSince(t1);
+                    if (auto reader = store->openReader(job.key)) {
+                        try {
+                            replayFromReader(*reader);
+                            mix = reader->mix();
+                            if (reader->mapped()) {
+                                local.bytesMapped +=
+                                    reader->payloadBytes();
+                            }
+                            local.loaded += reader->count();
+                            ++local.tracesLoaded;
+                            fromStore = true;
+                        } catch (const std::exception &e) {
+                            // Any partially filled result slots are
+                            // overwritten by the record path below.
+                            store->discardEntry(job.key, e.what());
+                        }
                     }
                 }
 
@@ -375,21 +556,9 @@ SweepRunner::run(const SweepPlan &plan)
             abortRun.store(true, std::memory_order_relaxed);
         }
         std::lock_guard<std::mutex> lock(totalsMutex);
-        totals.recorded += local.recorded;
-        totals.loaded += local.loaded;
-        totals.replayed += local.replayed;
-        totals.traces += local.traces;
-        totals.tracesLoaded += local.tracesLoaded;
-        totals.tracesStored += local.tracesStored;
-        totals.cells += local.cells;
-        totals.replayPasses += local.replayPasses;
-        totals.recordSec += local.recordSec;
-        totals.replaySec += local.replaySec;
-        totals.streamSec += local.streamSec;
-        totals.loadSec += local.loadSec;
+        totals.merge(local);
     };
 
-    int poolSize = std::min<int>(threads_, int(groups.size()));
     if (poolSize <= 1) {
         worker();
     } else {
@@ -403,7 +572,7 @@ SweepRunner::run(const SweepPlan &plan)
     if (firstError)
         std::rethrow_exception(firstError);
 
-    stats_.threads = std::max(1, poolSize);
+    stats_.threads = poolSize * std::max(1, totals.maxShards);
     stats_.tracesRecorded = totals.traces;
     stats_.tracesLoaded = totals.tracesLoaded;
     stats_.tracesStored = totals.tracesStored;
@@ -412,10 +581,13 @@ SweepRunner::run(const SweepPlan &plan)
     stats_.instrsLoaded = totals.loaded;
     stats_.instrsReplayed = totals.replayed;
     stats_.replayPasses = totals.replayPasses;
+    stats_.decodeBytes = totals.decodeBytes;
+    stats_.bytesMapped = totals.bytesMapped;
     stats_.recordSeconds = totals.recordSec;
     stats_.replaySeconds = totals.replaySec;
     stats_.streamSeconds = totals.streamSec;
     stats_.loadSeconds = totals.loadSec;
+    stats_.decodeSeconds = totals.decodeSec;
     stats_.wallSeconds = secondsSince(wallStart);
     return results;
 }

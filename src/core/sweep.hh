@@ -162,6 +162,8 @@ struct SweepCellResult {
  * replaySeconds, like the in-memory replay it replaces.
  */
 struct SweepStats {
+    /// Maximum worker concurrency of the run: group workers times the
+    /// widest intra-group replay-shard fan-out used (informational).
     int threads = 0;
     std::uint64_t tracesRecorded = 0;  //!< traces obtained by emulation
     std::uint64_t tracesLoaded = 0;    //!< traces replayed from the store
@@ -173,18 +175,34 @@ struct SweepStats {
     /**
      * Decode/replay passes over trace record streams that fed timing
      * simulators: a fused or streamed single-cell group is 1 pass, a
-     * batched multi-cell group is 1 pass for the whole group, a
-     * per-cell multi-cell group is 1 pass per timing cell, and
-     * mix-only groups contribute none. Informational (it describes
-     * how the run executed, not what was simulated): instrsReplayed
-     * stays the summed trace length over all timing cells in every
-     * mode.
+     * batched multi-cell group is 1 pass per replay shard (spare
+     * thread budget splits a group's cells across up to
+     * min(threads, cells) shards, each running its own pass - 1 when
+     * the sweep has at least as many groups as threads), a per-cell
+     * multi-cell group is 1 pass per timing cell, and mix-only groups
+     * contribute none. Informational (it describes how the run
+     * executed, not what was simulated): instrsReplayed stays the
+     * summed trace length over all timing cells in every mode.
      */
     std::uint64_t replayPasses = 0;
+    /**
+     * Encoded UATRACE2 payload bytes run through the block decoder,
+     * summed over every decode pass (a trace decoded by S shards
+     * counts S times - the honest amount of decode work done).
+     * Informational; zero without a store (in-memory replay feeds
+     * already-decoded records).
+     */
+    std::uint64_t decodeBytes = 0;
+    /// Payload bytes served zero-copy from an mmap'd store entry,
+    /// counted once per opened trace. Informational.
+    std::uint64_t bytesMapped = 0;
     double recordSeconds = 0;  //!< pure record passes, summed across workers
     double replaySeconds = 0;  //!< buffer-replay passes, summed across workers
     double streamSeconds = 0;  //!< fused record+simulate fast-path passes
     double loadSeconds = 0;    //!< store-read passes, summed across workers
+    /// Time inside TraceCursor::nextBlock during store-hit replay,
+    /// summed across all shards (a subset of replaySeconds).
+    double decodeSeconds = 0;
     double wallSeconds = 0;
 };
 
@@ -197,6 +215,14 @@ struct SweepStats {
  * sharded over the pool with an atomic cursor; results are written
  * into preallocated cell slots, so output order is deterministic and
  * thread-count independent.
+ *
+ * When the plan has fewer groups than threads, the spare budget is
+ * spent *inside* multi-cell groups: a group's timing cells split
+ * across up to min(threads, cells) replay shards, each running its
+ * own decode/replay pass (cells are mutually independent, so the
+ * split is bit-identical to one pass - tests/sweep_test.cc locks it).
+ * A single-big-group sweep therefore uses the full --threads
+ * allowance instead of one thread.
  */
 class SweepRunner
 {

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Internals shared by the per-tier UATRACE2 block-decode kernels
+ * (trace/simd_decode.hh). Not part of the public trace API.
+ *
+ * The three vector tiers differ only in how they (a) build one
+ * byte-granular varint-terminator mask over a window of payload
+ * bytes, (b) read a bit position out of that mask, and (c) compact an
+ * 8-byte load into the varint's value, so the whole record loop lives
+ * here once as decodeRunSimd<Traits> and each kernel translation
+ * unit - compiled with its own ISA flags - instantiates it with a
+ * tiny Traits struct. Everything else
+ * (tag validation, delta application, the over-long-varint rule, the
+ * exact error messages) is shared, which is what makes the
+ * bit-identical-to-scalar guarantee cheap to keep.
+ */
+
+#ifndef UASIM_TRACE_DECODE_DETAIL_HH
+#define UASIM_TRACE_DECODE_DETAIL_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "trace/instr.hh"
+#include "trace/trace_io.hh"
+
+namespace uasim::trace::simd::detail {
+
+[[noreturn]] inline void
+throwTruncated()
+{
+    throw std::runtime_error("trace payload truncated mid-record");
+}
+
+/**
+ * Varint read without end-of-buffer checks: the caller guarantees at
+ * least 10 readable bytes. Consumes exactly the bytes wire::getVarint
+ * would and applies the same over-long (> 10 byte) rule, so the two
+ * are interchangeable wherever the guarantee holds.
+ */
+inline bool
+getVarintUnchecked(const std::uint8_t *&p, std::uint64_t &v)
+{
+    std::uint64_t byte = *p++;
+    v = byte & 0x7f;
+    int shift = 7;
+    while (byte & 0x80) {
+        if (shift >= 70)
+            return false;  // over-long encoding
+        byte = *p++;
+        v |= (byte & 0x7f) << shift;
+        shift += 7;
+    }
+    return true;
+}
+
+/// Validate a record's tag byte and set cls/taken, with the exact
+/// error text of RecordDecoder::decode().
+inline void
+applyTag(std::uint8_t tag, InstrRecord &rec)
+{
+    const std::uint8_t cls = tag & 0x7f;
+    if (cls >= static_cast<std::uint8_t>(InstrClass::NumClasses))
+        throw std::runtime_error(
+            "invalid instruction class byte " + std::to_string(cls) +
+            " in trace payload");
+    rec.cls = static_cast<InstrClass>(cls);
+    if ((tag & 0x80) && rec.cls != InstrClass::Branch)
+        throw std::runtime_error(
+            "taken flag set on non-branch record in trace payload");
+    rec.taken = (tag & 0x80) != 0;
+}
+
+/// Decode one record with no end-of-buffer checks (the caller
+/// guarantees wire::maxRecordBytes readable). The scalar tier's body,
+/// and the reference the vector tiers are proven against.
+inline void
+decodeOneUnchecked(const std::uint8_t *&p, InstrRecord &rec,
+                   wire::DecodeState &st)
+{
+    const std::uint8_t tag = *p++;
+    applyTag(tag, rec);
+    std::uint64_t v;
+    if (!getVarintUnchecked(p, v))
+        throwTruncated();
+    rec.id = st.prevId + std::uint64_t(wire::unzigzag(v));
+    st.prevId = rec.id;
+    if (!getVarintUnchecked(p, v))
+        throwTruncated();
+    rec.pc = st.prevPc + std::uint64_t(wire::unzigzag(v));
+    st.prevPc = rec.pc;
+    if (isMemClass(rec.cls)) {
+        if (!getVarintUnchecked(p, v))
+            throwTruncated();
+        rec.addr = st.prevAddr + std::uint64_t(wire::unzigzag(v));
+        st.prevAddr = rec.addr;
+        rec.size = *p++;
+    } else {
+        rec.addr = 0;
+        rec.size = 0;
+    }
+    for (auto &dep : rec.deps) {
+        if (!getVarintUnchecked(p, v))
+            throwTruncated();
+        dep = v ? rec.id - std::uint64_t(wire::unzigzag(v - 1)) : 0;
+    }
+}
+
+inline std::uint64_t
+load64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+/**
+ * Compact the 7 payload bits of up to 8 little-endian varint bytes
+ * (already masked down to the varint's length) into one value: drop
+ * every byte's continuation bit, then close the gaps in three
+ * shift-or steps (7-bit groups -> 14 -> 28 -> 56). Bytes above the
+ * varint's length must be zero in @p raw; they then contribute zero
+ * high groups and leave the value unchanged.
+ */
+inline std::uint64_t
+swarExtract(std::uint64_t raw)
+{
+    std::uint64_t x = raw & 0x7f7f7f7f7f7f7f7full;
+    x = ((x & 0x7f007f007f007f00ull) >> 1) |
+        (x & 0x007f007f007f007full);
+    x = ((x & 0x3fff00003fff0000ull) >> 2) |
+        (x & 0x00003fff00003fffull);
+    x = ((x & 0x0fffffff00000000ull) >> 4) |
+        (x & 0x000000000fffffffull);
+    return x;
+}
+
+/// Expand the low 8 bits of @p bits so bit i lands at position
+/// i * scale - the shape of a terminator mask whose tiers spend
+/// `scale` mask bits per payload byte (1 on x86, 4 on NEON).
+constexpr std::uint64_t
+spreadBits(std::uint64_t bits, unsigned scale)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        if (bits >> i & 1)
+            r |= std::uint64_t{1} << (i * scale);
+    return r;
+}
+
+/// How a record-decode attempt against the current window ended.
+enum class FieldStatus : std::uint8_t {
+    Ok,         ///< every field classified inside the window
+    Exhausted,  ///< a field ran past the window's last byte
+    Irregular,  ///< a varint of more than 8 bytes (rare; scalar path)
+};
+
+/**
+ * The shared record loop of every vector tier: decode records until
+ * @p maxRecords are done or fewer than wire::maxRecordBytes remain.
+ *
+ * One vector load builds a byte-granular *terminator* mask
+ * (Traits::termMask: bit set where a byte ends a varint) over a
+ * Traits::width-byte window, and *several* records decode out of that
+ * one mask before it is rebuilt - the load + movemask latency
+ * amortizes across the window instead of re-entering the carried
+ * chain every record. Within the window, field lengths come from
+ * walking the mask - pos = count-trailing-zeros, consume =
+ * clear-lowest-set-bit - so the only dependence carried from field to
+ * field (and record to record) is a single-cycle blsr, and every
+ * value extraction (8-byte load + Traits::extract) runs off the chain
+ * in parallel. The earlier formulations serialized either a
+ * shift+ctz chain through every field or a movemask through every
+ * record; both showed up whole on the critical path.
+ *
+ * Each attempt works on copies of the window cursor; nothing (decode
+ * state, output record, stream position, window) commits until every
+ * field of the record classified cleanly. A record that runs past the
+ * window retries once against a fresh window starting at the record;
+ * if it still does not fit, or any varint exceeds 8 bytes, it
+ * re-decodes wholesale on the scalar reference path with pristine
+ * state - so values, state, and every error (texts included) are
+ * bit-identical to the scalar loop by construction.
+ *
+ * The tag and mem-class size bytes are raw, not varints: when such a
+ * byte's high bit is clear it looks like a terminator in the mask and
+ * its bit - then the lowest set, since every earlier byte's bit has
+ * been consumed - is dropped with one blsr; when the high bit is set
+ * it contributed no bit. Either way the walk stays aligned with the
+ * field sequence.
+ */
+template <class Traits>
+inline std::size_t
+decodeRunSimd(const std::uint8_t *&p, const std::uint8_t *end,
+              InstrRecord *out, std::size_t maxRecords,
+              wire::DecodeState &st)
+{
+    // Terminator-mask shapes of the dominant every-field-one-byte
+    // record: field bytes that must all be terminators (the mem
+    // record's raw size byte is a don't-care hole), and the full
+    // span to retire from the mask once taken.
+    constexpr unsigned S = Traits::scale;
+    constexpr std::uint64_t onesNonMem = spreadBits(0x1f, S);
+    constexpr std::uint64_t onesMem = spreadBits(0x77, S);
+    constexpr std::uint64_t spanNonMem = spreadBits(0x3f, S);
+    constexpr std::uint64_t spanMem = spreadBits(0xff, S);
+
+    // Refill the window once fewer than `slack` bytes remain: large
+    // enough that the records this wire format actually produces
+    // (6-13 bytes; see bench/trace_decode.cc) almost never run past
+    // the window and pay the retry, small enough to keep most of the
+    // window's bytes useful per vector load.
+    constexpr unsigned slack =
+        Traits::width >= 32 ? 14 : wire::minRecordBytes + 2;
+
+    std::size_t n = 0;
+    const std::uint8_t *base = p;  // window start
+    std::uint64_t mask = 0;        // live terminator bits in window
+    unsigned next = Traits::width; // next unread byte; >= width-slack
+                                   // at a record top forces a refill
+
+    while (n < maxRecords &&
+           std::size_t(end - p) >= wire::maxRecordBytes) {
+        // Invariant at every attempt: base + next == p.
+        if (Traits::width - next < slack) {
+            base = p;
+            mask = Traits::termMask(p);
+            next = 0;
+        }
+        InstrRecord &rec = out[n];
+        std::uint64_t m = 0, vId = 0, vPc = 0, vAddr = 0;
+        std::uint64_t d0 = 0, d1 = 0, d2 = 0;
+        unsigned start = 0;
+        std::uint8_t size = 0;
+        FieldStatus fs = FieldStatus::Ok;
+
+        // One varint field: its terminator is the lowest live mask
+        // bit. After a failure the remaining calls run on frozen
+        // state and reproduce the same status; start only ever holds
+        // a value a successful field produced, so with width <= 32
+        // every base + start + 8 access stays inside the
+        // wire::maxRecordBytes guarantee at p.
+        auto field = [&](std::uint64_t &v) {
+            const unsigned pos = Traits::pos(m);
+            if (pos >= Traits::width) {
+                fs = FieldStatus::Exhausted;
+                return;
+            }
+            const unsigned t = pos - start;
+            if (t > 7) {
+                fs = FieldStatus::Irregular;  // 9/10-byte or over-long
+                return;
+            }
+            v = Traits::extract(load64(base + start), t);
+            m &= m - 1;
+            start = pos + 1;
+        };
+
+        for (;;) {
+            m = mask;
+            start = next;
+            fs = FieldStatus::Ok;
+            const std::uint8_t tag = base[start];
+            applyTag(tag, rec);  // same byte as *p on every attempt
+            const bool mem = isMemClass(rec.cls);
+
+            // Fast path for the dominant record shape: every field a
+            // single byte. One mask compare classifies the whole
+            // record (bits past the window are zero, so a straddling
+            // span can never match), every field byte is its own
+            // value, and the span retires with one AND. The mem /
+            // non-mem difference is select arithmetic, not control
+            // flow: the one unpredictable branch left per record is
+            // this fast-vs-general split. (The speculative b[2..6]
+            // reads stay in bounds: b + 7 < p + wire::maxRecordBytes;
+            // non-mem commits ignore vAddr/size.)
+            const std::uint64_t need = mem ? onesMem : onesNonMem;
+            if (((mask >> (S * (next + 1))) & need) == need) {
+                const std::uint8_t *b = base + next + 1;
+                const unsigned depOff = mem ? 4u : 2u;
+                vId = b[0];
+                vPc = b[1];
+                vAddr = b[2];
+                size = b[3];
+                d0 = b[depOff];
+                d1 = b[depOff + 1];
+                d2 = b[depOff + 2];
+                m = mask &
+                    ~((mem ? spanMem : spanNonMem) << (S * next));
+                start = next + depOff + 4u;
+            } else {
+                if (!(tag & 0x80))
+                    m &= m - 1;  // the tag's terminator-look-alike bit
+                ++start;
+
+                field(vId);
+                field(vPc);
+                if (mem) {
+                    field(vAddr);
+                    if (fs == FieldStatus::Ok) {
+                        size = base[start];
+                        if (!(size & 0x80))
+                            m &= m - 1;
+                        ++start;
+                    }
+                }
+                field(d0);
+                field(d1);
+                field(d2);
+            }
+
+            if (fs == FieldStatus::Ok) {
+                mask = m;
+                next = start;
+                const std::uint64_t id =
+                    st.prevId + std::uint64_t(wire::unzigzag(vId));
+                rec.id = id;
+                st.prevId = id;
+                rec.pc =
+                    st.prevPc + std::uint64_t(wire::unzigzag(vPc));
+                st.prevPc = rec.pc;
+                // Branchless mem commit: the addr sum is computed
+                // either way (vAddr is 0 or a dead speculative read
+                // for non-mem) and selects decide what sticks.
+                const std::uint64_t addr =
+                    st.prevAddr + std::uint64_t(wire::unzigzag(vAddr));
+                st.prevAddr = mem ? addr : st.prevAddr;
+                rec.addr = mem ? addr : 0;
+                rec.size = mem ? size : 0;
+                rec.deps[0] =
+                    d0 ? id - std::uint64_t(wire::unzigzag(d0 - 1))
+                       : 0;
+                rec.deps[1] =
+                    d1 ? id - std::uint64_t(wire::unzigzag(d1 - 1))
+                       : 0;
+                rec.deps[2] =
+                    d2 ? id - std::uint64_t(wire::unzigzag(d2 - 1))
+                       : 0;
+                p = base + start;
+                break;
+            }
+            if (fs == FieldStatus::Exhausted && base != p) {
+                // Stale window ran out mid-record: one retry against
+                // a fresh window starting at this record.
+                base = p;
+                mask = Traits::termMask(p);
+                next = 0;
+                continue;
+            }
+            // Irregular varint, or a record longer than a whole
+            // window: the scalar reference decodes it and the window
+            // no longer tracks p, so poison next to force a refill.
+            decodeOneUnchecked(p, rec, st);
+            next = Traits::width;
+            break;
+        }
+        ++n;
+    }
+    return n;
+}
+
+// Per-tier kernels, each defined in its own translation unit compiled
+// with the matching ISA flags (see the UASIM_DECODE_* source lists in
+// CMakeLists.txt); declared unconditionally, referenced only behind
+// the corresponding UASIM_DECODE_* macro.
+std::size_t decodeRunScalar(const std::uint8_t *&p,
+                            const std::uint8_t *end, InstrRecord *out,
+                            std::size_t maxRecords,
+                            wire::DecodeState &st);
+std::size_t decodeRunSse42(const std::uint8_t *&p,
+                           const std::uint8_t *end, InstrRecord *out,
+                           std::size_t maxRecords,
+                           wire::DecodeState &st);
+std::size_t decodeRunAvx2(const std::uint8_t *&p,
+                          const std::uint8_t *end, InstrRecord *out,
+                          std::size_t maxRecords,
+                          wire::DecodeState &st);
+std::size_t decodeRunNeon(const std::uint8_t *&p,
+                          const std::uint8_t *end, InstrRecord *out,
+                          std::size_t maxRecords,
+                          wire::DecodeState &st);
+
+} // namespace uasim::trace::simd::detail
+
+#endif // UASIM_TRACE_DECODE_DETAIL_HH

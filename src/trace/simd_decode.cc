@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tier registry and runtime dispatch for the SIMD block decoder, plus
+ * the scalar reference kernel. The vector kernels live in their own
+ * translation units (simd_decode_{sse42,avx2,neon}.cc) compiled with
+ * the matching ISA flags; this file is always built portable.
+ */
+
+#include "trace/simd_decode.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/decode_detail.hh"
+
+namespace uasim::trace::simd {
+
+namespace detail {
+
+std::size_t
+decodeRunScalar(const std::uint8_t *&p, const std::uint8_t *end,
+                InstrRecord *out, std::size_t maxRecords,
+                wire::DecodeState &st)
+{
+    std::size_t n = 0;
+    while (n < maxRecords &&
+           std::size_t(end - p) >= wire::maxRecordBytes) {
+        decodeOneUnchecked(p, out[n], st);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace detail
+
+namespace {
+
+/// Compiled in *and* runnable on this CPU. The UASIM_DECODE_* macros
+/// mirror the per-arch kernel source lists in CMakeLists.txt.
+bool
+haveTier(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return true;
+      case Tier::SSE42:
+#if defined(UASIM_DECODE_SSE42)
+        return __builtin_cpu_supports("sse4.2");
+#else
+        return false;
+#endif
+      case Tier::AVX2:
+#if defined(UASIM_DECODE_AVX2)
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("bmi2");
+#else
+        return false;
+#endif
+      case Tier::NEON:
+#if defined(UASIM_DECODE_NEON)
+        return true;  // NEON is architecturally baseline on aarch64
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Tier
+bestTier()
+{
+    if (haveTier(Tier::AVX2))
+        return Tier::AVX2;
+    if (haveTier(Tier::SSE42))
+        return Tier::SSE42;
+    if (haveTier(Tier::NEON))
+        return Tier::NEON;
+    return Tier::Scalar;
+}
+
+/// A malformed UASIM_DECODE must not silently run a different decoder
+/// than the benchmark/CI leg asked for, so it is fatal, not a warning.
+Tier
+parseEnvTier()
+{
+    if (const char *name = std::getenv("UASIM_DECODE")) {
+        Tier t;
+        if (!parseTierName(name, t)) {
+            std::fprintf(stderr,
+                         "uasim: UASIM_DECODE=%s: unknown decode tier "
+                         "(expected scalar, sse42, avx2, or neon)\n",
+                         name);
+            std::exit(2);
+        }
+        if (!haveTier(t)) {
+            std::fprintf(stderr,
+                         "uasim: UASIM_DECODE=%s: decode tier not "
+                         "supported on this host\n",
+                         name);
+            std::exit(2);
+        }
+        return t;
+    }
+    if (const char *f = std::getenv("UASIM_FORCE_SCALAR");
+        f && *f && std::strcmp(f, "0") != 0) {
+        return Tier::Scalar;
+    }
+    return bestTier();
+}
+
+Tier
+envTier()
+{
+    static const Tier tier = parseEnvTier();
+    return tier;
+}
+
+/// forceTier() override; -1 = none. Relaxed is enough: tests and the
+/// bench set it before spawning decode work, never concurrently.
+std::atomic<int> forcedTier{-1};
+
+} // namespace
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return "scalar";
+      case Tier::SSE42:
+        return "sse42";
+      case Tier::AVX2:
+        return "avx2";
+      case Tier::NEON:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+parseTierName(const char *name, Tier &tier)
+{
+    for (Tier t :
+         {Tier::Scalar, Tier::SSE42, Tier::AVX2, Tier::NEON}) {
+        if (std::strcmp(name, tierName(t)) == 0) {
+            tier = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+tierSupported(Tier tier)
+{
+    return haveTier(tier);
+}
+
+std::vector<Tier>
+supportedTiers()
+{
+    std::vector<Tier> out;
+    for (Tier t :
+         {Tier::Scalar, Tier::SSE42, Tier::AVX2, Tier::NEON}) {
+        if (haveTier(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
+Tier
+activeTier()
+{
+    const int forced = forcedTier.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<Tier>(forced);
+    return envTier();
+}
+
+bool
+forceTier(Tier tier)
+{
+    if (!haveTier(tier))
+        return false;
+    forcedTier.store(int(tier), std::memory_order_relaxed);
+    return true;
+}
+
+void
+clearForcedTier()
+{
+    forcedTier.store(-1, std::memory_order_relaxed);
+}
+
+std::size_t
+decodeRunWith(Tier tier, const std::uint8_t *&p,
+              const std::uint8_t *end, InstrRecord *out,
+              std::size_t maxRecords, wire::DecodeState &st)
+{
+    switch (tier) {
+#if defined(UASIM_DECODE_SSE42)
+      case Tier::SSE42:
+        return detail::decodeRunSse42(p, end, out, maxRecords, st);
+#endif
+#if defined(UASIM_DECODE_AVX2)
+      case Tier::AVX2:
+        return detail::decodeRunAvx2(p, end, out, maxRecords, st);
+#endif
+#if defined(UASIM_DECODE_NEON)
+      case Tier::NEON:
+        return detail::decodeRunNeon(p, end, out, maxRecords, st);
+#endif
+      default:
+        return detail::decodeRunScalar(p, end, out, maxRecords, st);
+    }
+}
+
+std::size_t
+decodeRun(const std::uint8_t *&p, const std::uint8_t *end,
+          InstrRecord *out, std::size_t maxRecords,
+          wire::DecodeState &st)
+{
+    return decodeRunWith(activeTier(), p, end, out, maxRecords, st);
+}
+
+} // namespace uasim::trace::simd

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD block decode of the UATRACE2 record stream.
+ *
+ * The decoder's fast region (at least wire::maxRecordBytes readable,
+ * see RecordDecoder::decodeBlock) is delegated to a per-host kernel:
+ *
+ *   scalar  the portable byte-at-a-time LEB128 loop (always built,
+ *           the mandatory fallback and the reference implementation)
+ *   sse42   x86: 16-byte PMOVMSKB continuation-mask classification +
+ *           SWAR 7-bit-group compaction
+ *   avx2    x86: 32-byte VPMOVMSKB classification + one PEXT (BMI2)
+ *           extraction per varint
+ *   neon    aarch64: 16-byte bit-narrowing classification + the same
+ *           SWAR compaction as sse42
+ *
+ * Every kernel classifies varint lengths from one continuation-bit
+ * mask per record (a single vector load + movemask covers all of a
+ * typical record's fields) and extracts each value branch-free; any
+ * varint longer than 8 bytes - or extending past the classification
+ * window - falls back to the scalar read for that one field, so the
+ * decoded values, the decode state, and every error (including the
+ * over-long-varint rule) are bit-identical to the scalar loop.
+ * tests/simd_decode_test.cc is the differential harness that locks
+ * scalar/SIMD equivalence on adversarial streams for every tier the
+ * host can run.
+ *
+ * Dispatch: activeTier() picks the best supported tier once, unless
+ * overridden by the UASIM_DECODE environment variable
+ * ("scalar"/"sse42"/"avx2"/"neon"; an unknown or unsupported name is
+ * fatal) or its blunt cousin UASIM_FORCE_SCALAR=1. forceTier() - used
+ * by tests and the trace_decode bench - overrides both at runtime.
+ */
+
+#ifndef UASIM_TRACE_SIMD_DECODE_HH
+#define UASIM_TRACE_SIMD_DECODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_io.hh"
+
+namespace uasim::trace::simd {
+
+/// Decoder implementation tiers, portable fallback first.
+enum class Tier : std::uint8_t { Scalar = 0, SSE42, AVX2, NEON };
+
+/// Lower-case tier name as accepted by UASIM_DECODE.
+const char *tierName(Tier tier);
+
+/// Parse a UASIM_DECODE-style tier name. @return false when unknown.
+bool parseTierName(const char *name, Tier &tier);
+
+/// Whether this build can run @p tier on this host (compiled in and
+/// the CPU reports the required features). Scalar is always true.
+bool tierSupported(Tier tier);
+
+/// Every tier supported on this host, scalar first.
+std::vector<Tier> supportedTiers();
+
+/**
+ * The tier decodeRun() dispatches to: a forceTier() override if one
+ * is set, else the UASIM_DECODE / UASIM_FORCE_SCALAR environment
+ * override (parsed once; unknown or unsupported names exit(2)), else
+ * the best tier the host supports.
+ */
+Tier activeTier();
+
+/**
+ * Force the dispatch tier at runtime (wins over the environment).
+ * @return false - and leave the dispatch unchanged - if @p tier is
+ * not supported on this host.
+ */
+bool forceTier(Tier tier);
+
+/// Drop a forceTier() override; dispatch reverts to env/auto.
+void clearForcedTier();
+
+/**
+ * Decode records from [@p p, @p end) into @p out, advancing @p p,
+ * until @p maxRecords are decoded or fewer than wire::maxRecordBytes
+ * remain (the caller finishes the tail with the checked scalar
+ * decoder). Threads the shared delta state @p st exactly like the
+ * scalar loop and throws exactly where RecordDecoder::decode() would.
+ * @return the number of records decoded.
+ */
+std::size_t decodeRun(const std::uint8_t *&p, const std::uint8_t *end,
+                      InstrRecord *out, std::size_t maxRecords,
+                      wire::DecodeState &st);
+
+/// decodeRun() pinned to one tier, which must be supported on this
+/// host (differential tests and the trace_decode bench).
+std::size_t decodeRunWith(Tier tier, const std::uint8_t *&p,
+                          const std::uint8_t *end, InstrRecord *out,
+                          std::size_t maxRecords,
+                          wire::DecodeState &st);
+
+} // namespace uasim::trace::simd
+
+#endif // UASIM_TRACE_SIMD_DECODE_HH

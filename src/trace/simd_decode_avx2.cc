@@ -1,0 +1,62 @@
+/**
+ * @file
+ * AVX2+BMI2 decode kernel: one 32-byte VPMOVMSKB covers even a record
+ * full of long varints in a single continuation mask, and each value
+ * is extracted with one PEXT over the masked 8-byte load. Compiled
+ * with -mavx2 -mbmi2 (this file only); callers reach it through the
+ * runtime dispatch in simd_decode.cc, which requires both CPU flags.
+ */
+
+#include "trace/decode_detail.hh"
+
+#include <immintrin.h>
+
+namespace uasim::trace::simd::detail {
+
+namespace {
+
+struct Avx2Traits {
+    static constexpr unsigned width = 32;
+    static constexpr unsigned scale = 1;  // mask bits per byte
+
+    /// Bit i set = byte i terminates a varint (continuation bit 0x80
+    /// clear). Only the low 32 bits are live.
+    static std::uint64_t
+    termMask(const std::uint8_t *p)
+    {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p));
+        return ~std::uint64_t(std::uint32_t(
+                   _mm256_movemask_epi8(w))) &
+               0xffffffffull;
+    }
+
+    /// Byte index of the lowest set mask bit; >= width when empty.
+    static unsigned
+    pos(std::uint64_t m)
+    {
+        return unsigned(std::countr_zero(m));
+    }
+
+    /// Value of a varint of t+1 bytes starting at raw's byte 0: PEXT
+    /// gathers bits 0-6 of all 8 bytes in payload order, then BZHI
+    /// keeps the 7*(t+1) bits belonging to the field.
+    static std::uint64_t
+    extract(std::uint64_t raw, unsigned t)
+    {
+        return _bzhi_u64(_pext_u64(raw, 0x7f7f7f7f7f7f7f7full),
+                         7 * (t + 1));
+    }
+};
+
+} // namespace
+
+std::size_t
+decodeRunAvx2(const std::uint8_t *&p, const std::uint8_t *end,
+              InstrRecord *out, std::size_t maxRecords,
+              wire::DecodeState &st)
+{
+    return decodeRunSimd<Avx2Traits>(p, end, out, maxRecords, st);
+}
+
+} // namespace uasim::trace::simd::detail

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NEON (aarch64) decode kernel. AArch64 has no PMOVMSKB; the
+ * terminator mask is built with the standard shrn-by-4 narrowing
+ * trick instead: a byte-wise 0x80 test yields 0xff/0x00 lanes, and
+ * narrowing each 16-bit pair right by 4 packs them into one nibble
+ * per payload byte. The nibble mask is then thinned to one bit per
+ * byte (bit 4*i for byte i) so the shared mask walk - clear lowest
+ * set bit per field - works unchanged; positions just shift right by
+ * 2. Value extraction shares the SWAR compaction with the SSE4.2
+ * tier. NEON is baseline on aarch64, so this file needs no special
+ * flags - it is simply only compiled there.
+ */
+
+#include "trace/decode_detail.hh"
+
+#include <arm_neon.h>
+
+namespace uasim::trace::simd::detail {
+
+namespace {
+
+struct NeonTraits {
+    static constexpr unsigned width = 16;
+    static constexpr unsigned scale = 4;  // mask bits per byte
+
+    /// One bit per byte at position 4*i: byte i terminates a varint.
+    static std::uint64_t
+    termMask(const std::uint8_t *p)
+    {
+        const uint8x16_t w = vld1q_u8(p);
+        const uint8x16_t top = vtstq_u8(w, vdupq_n_u8(0x80));
+        const uint8x8_t nib =
+            vshrn_n_u16(vreinterpretq_u16_u8(top), 4);
+        const std::uint64_t cont =
+            vget_lane_u64(vreinterpret_u64_u8(nib), 0);
+        return ~cont & 0x1111111111111111ull;
+    }
+
+    /// Byte index of the lowest set mask bit; >= width when empty
+    /// (countr_zero(0) == 64 maps to exactly 16).
+    static unsigned
+    pos(std::uint64_t m)
+    {
+        return unsigned(std::countr_zero(m)) >> 2;
+    }
+
+    /// Value of a varint of t+1 bytes starting at raw's byte 0.
+    static std::uint64_t
+    extract(std::uint64_t raw, unsigned t)
+    {
+        return swarExtract(raw &
+                           (~std::uint64_t{0} >> ((7 - t) * 8)));
+    }
+};
+
+} // namespace
+
+std::size_t
+decodeRunNeon(const std::uint8_t *&p, const std::uint8_t *end,
+              InstrRecord *out, std::size_t maxRecords,
+              wire::DecodeState &st)
+{
+    return decodeRunSimd<NeonTraits>(p, end, out, maxRecords, st);
+}
+
+} // namespace uasim::trace::simd::detail

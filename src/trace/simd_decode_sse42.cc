@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SSE4.2 decode kernel: one 16-byte PMOVMSKB builds the record's
+ * varint-terminator mask (1 bit per payload byte); varint values are
+ * compacted with the shared SWAR 7-bit-group routine. Compiled with
+ * -msse4.2 (this file only); callers reach it through the runtime
+ * dispatch in simd_decode.cc.
+ */
+
+#include "trace/decode_detail.hh"
+
+#include <immintrin.h>
+
+namespace uasim::trace::simd::detail {
+
+namespace {
+
+struct Sse42Traits {
+    static constexpr unsigned width = 16;
+    static constexpr unsigned scale = 1;  // mask bits per byte
+
+    /// Bit i set = byte i terminates a varint (continuation bit 0x80
+    /// clear). Only the low 16 bits are live.
+    static std::uint64_t
+    termMask(const std::uint8_t *p)
+    {
+        const __m128i w =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        return ~std::uint64_t(
+                   std::uint32_t(_mm_movemask_epi8(w))) &
+               0xffffull;
+    }
+
+    /// Byte index of the lowest set mask bit; >= width when empty.
+    static unsigned
+    pos(std::uint64_t m)
+    {
+        return unsigned(std::countr_zero(m));
+    }
+
+    /// Value of a varint of t+1 bytes starting at raw's byte 0.
+    static std::uint64_t
+    extract(std::uint64_t raw, unsigned t)
+    {
+        return swarExtract(raw &
+                           (~std::uint64_t{0} >> ((7 - t) * 8)));
+    }
+};
+
+} // namespace
+
+std::size_t
+decodeRunSse42(const std::uint8_t *&p, const std::uint8_t *end,
+               InstrRecord *out, std::size_t maxRecords,
+               wire::DecodeState &st)
+{
+    return decodeRunSimd<Sse42Traits>(p, end, out, maxRecords, st);
+}
+
+} // namespace uasim::trace::simd::detail

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <memory>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UASIM_HAVE_MMAP 1
+#include <sys/mman.h>
+#endif
+
+#include "trace/simd_decode.hh"
 
 namespace uasim::trace {
 
@@ -43,28 +51,6 @@ getLe64(const std::uint8_t *p)
     for (int i = 0; i < 8; ++i)
         v |= std::uint64_t{p[i]} << (8 * i);
     return v;
-}
-
-/**
- * Varint read without end-of-buffer checks: the caller guarantees at
- * least 10 readable bytes. Consumes exactly the bytes getVarint would
- * and applies the same over-long (> 10 byte) rule, so the two are
- * interchangeable wherever the guarantee holds.
- */
-inline bool
-getVarintUnchecked(const std::uint8_t *&p, std::uint64_t &v)
-{
-    std::uint64_t byte = *p++;
-    v = byte & 0x7f;
-    int shift = 7;
-    while (byte & 0x80) {
-        if (shift >= 70)
-            return false;  // over-long encoding
-        byte = *p++;
-        v |= (byte & 0x7f) << shift;
-        shift += 7;
-    }
-    return true;
 }
 
 } // namespace
@@ -181,17 +167,17 @@ RecordDecoder::decode(const std::uint8_t *&p, const std::uint8_t *end,
     std::uint64_t v;
     if (!getVarint(p, end, v))
         truncated();
-    rec.id = prevId_ + std::uint64_t(unzigzag(v));
-    prevId_ = rec.id;
+    rec.id = st_.prevId + std::uint64_t(unzigzag(v));
+    st_.prevId = rec.id;
     if (!getVarint(p, end, v))
         truncated();
-    rec.pc = prevPc_ + std::uint64_t(unzigzag(v));
-    prevPc_ = rec.pc;
+    rec.pc = st_.prevPc + std::uint64_t(unzigzag(v));
+    st_.prevPc = rec.pc;
     if (isMemClass(rec.cls)) {
         if (!getVarint(p, end, v))
             truncated();
-        rec.addr = prevAddr_ + std::uint64_t(unzigzag(v));
-        prevAddr_ = rec.addr;
+        rec.addr = st_.prevAddr + std::uint64_t(unzigzag(v));
+        st_.prevAddr = rec.addr;
         if (p == end)
             truncated();
         rec.size = *p++;
@@ -211,60 +197,14 @@ RecordDecoder::decodeBlock(const std::uint8_t *&p,
                            const std::uint8_t *end, InstrRecord *out,
                            std::size_t maxRecords)
 {
-    auto truncated = [] {
-        throw std::runtime_error(
-            "trace payload truncated mid-record");
-    };
-    std::size_t n = 0;
+    // Fast region: while at least maxRecordBytes remain every field
+    // of a record is readable without bounds checks, so the run is
+    // delegated to the runtime-dispatched kernel (scalar fallback
+    // included - see trace/simd_decode.hh).
+    std::size_t n = simd::decodeRun(p, end, out, maxRecords, st_);
+    // Checked scalar path once a record could cross the end.
     while (n < maxRecords && p != end) {
-        // Checked scalar path once a record could cross the end.
-        if (std::size_t(end - p) < maxRecordBytes) {
-            decode(p, end, out[n]);
-            ++n;
-            continue;
-        }
-
-        // Fast path: every field of one record is readable without
-        // bounds checks (maxRecordBytes is the hard per-record upper
-        // bound). Same field order, same validation, same errors as
-        // decode().
-        InstrRecord &rec = out[n];
-        const std::uint8_t tag = *p++;
-        const std::uint8_t cls = tag & 0x7f;
-        if (cls >= static_cast<std::uint8_t>(InstrClass::NumClasses))
-            throw std::runtime_error(
-                "invalid instruction class byte " +
-                std::to_string(cls) + " in trace payload");
-        rec.cls = static_cast<InstrClass>(cls);
-        if ((tag & 0x80) && rec.cls != InstrClass::Branch)
-            throw std::runtime_error(
-                "taken flag set on non-branch record in trace payload");
-        rec.taken = (tag & 0x80) != 0;
-
-        std::uint64_t v;
-        if (!getVarintUnchecked(p, v))
-            truncated();
-        rec.id = prevId_ + std::uint64_t(unzigzag(v));
-        prevId_ = rec.id;
-        if (!getVarintUnchecked(p, v))
-            truncated();
-        rec.pc = prevPc_ + std::uint64_t(unzigzag(v));
-        prevPc_ = rec.pc;
-        if (isMemClass(rec.cls)) {
-            if (!getVarintUnchecked(p, v))
-                truncated();
-            rec.addr = prevAddr_ + std::uint64_t(unzigzag(v));
-            prevAddr_ = rec.addr;
-            rec.size = *p++;
-        } else {
-            rec.addr = 0;
-            rec.size = 0;
-        }
-        for (auto &dep : rec.deps) {
-            if (!getVarintUnchecked(p, v))
-                truncated();
-            dep = v ? rec.id - std::uint64_t(unzigzag(v - 1)) : 0;
-        }
+        decode(p, end, out[n]);
         ++n;
     }
     return n;
@@ -408,6 +348,7 @@ struct OpenedTrace {
     std::uint64_t count = 0;
     std::uint64_t payloadBytes = 0;
     std::uint64_t payloadHash = 0;
+    long payloadAt = 0;  //!< payload's file offset (for mmap views)
 };
 
 [[noreturn]] void
@@ -513,7 +454,17 @@ openTrace(const std::string &path, const std::string &expectKey)
     }
     if (std::fseek(ot.file.get(), payload_at, SEEK_SET) != 0)
         bad("payload seek failed: " + errnoText());
+    ot.payloadAt = payload_at;
     return ot;
+}
+
+/// Checked per reader open (not cached) so tests can toggle the
+/// environment between opens.
+bool
+mmapDisabled()
+{
+    const char *e = std::getenv("UASIM_NO_MMAP");
+    return e && *e != '\0';
 }
 
 } // namespace
@@ -526,18 +477,60 @@ TraceReader::TraceReader(const std::string &path,
     key_ = std::move(ot.key);
     mix_ = ot.mix;
     count_ = ot.count;
+    payloadSize_ = ot.payloadBytes;
 
-    payload_.resize(ot.payloadBytes);
-    if (ot.payloadBytes &&
-        std::fread(payload_.data(), 1, ot.payloadBytes,
-                   ot.file.get()) != ot.payloadBytes) {
-        badTrace(path, "payload read failed");
+#if UASIM_HAVE_MMAP
+    // Zero-copy path: map the whole file (the payload offset is not
+    // page-aligned, so mapping from 0 keeps the arithmetic trivial)
+    // and decode straight out of the page cache. The mapping outlives
+    // the FILE handle; checksum verification below runs over the
+    // mapped bytes themselves, so a torn or corrupted file is caught
+    // exactly like on the buffered path.
+    if (ot.payloadBytes && !mmapDisabled()) {
+        const std::size_t len =
+            std::size_t(ot.payloadAt) + std::size_t(ot.payloadBytes);
+        void *base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE,
+                            ::fileno(ot.file.get()), 0);
+        if (base != MAP_FAILED) {
+            mapBase_ = base;
+            mapLen_ = len;
+            data_ = static_cast<const std::uint8_t *>(base) +
+                    ot.payloadAt;
+            // Streaming hint only; failure changes nothing.
+            (void)::madvise(base, len, MADV_SEQUENTIAL);
+        }
     }
-    if (wire::fnv1a(payload_.data(), payload_.size()) !=
+#endif
+    if (!mapBase_) {
+        // Buffered fallback: mmap unavailable, disabled via
+        // UASIM_NO_MMAP, or an empty payload.
+        payload_.resize(ot.payloadBytes);
+        if (ot.payloadBytes &&
+            std::fread(payload_.data(), 1, ot.payloadBytes,
+                       ot.file.get()) != ot.payloadBytes) {
+            badTrace(path, "payload read failed");
+        }
+        data_ = payload_.data();
+    }
+    if (wire::fnv1a(data_, std::size_t(payloadSize_)) !=
         ot.payloadHash) {
+#if UASIM_HAVE_MMAP
+        if (mapBase_) {
+            ::munmap(mapBase_, mapLen_);
+            mapBase_ = nullptr;
+        }
+#endif
         badTrace(path, "payload checksum mismatch");
     }
-    pos_ = payload_.data();
+    cur_ = TraceCursor(this);
+}
+
+TraceReader::~TraceReader()
+{
+#if UASIM_HAVE_MMAP
+    if (mapBase_)
+        ::munmap(mapBase_, mapLen_);
+#endif
 }
 
 TraceSummary
@@ -551,16 +544,25 @@ readTraceSummary(const std::string &path, const std::string &expectKey)
     return s;
 }
 
-bool
-TraceReader::next(InstrRecord &rec)
+TraceCursor::TraceCursor(const TraceReader *reader)
+    : reader_(reader), pos_(reader->data_)
 {
-    const std::uint8_t *end = payload_.data() + payload_.size();
-    if (read_ >= count_) {
+}
+
+bool
+TraceCursor::next(InstrRecord &rec)
+{
+    if (!reader_)
+        return false;
+    const std::uint8_t *end =
+        reader_->data_ + reader_->payloadSize_;
+    if (read_ >= reader_->count_) {
         if (pos_ != end)
             throw std::runtime_error(
                 "TraceReader: payload continues past the " +
-                std::to_string(count_) + " records promised by the "
-                "header in " + path_);
+                std::to_string(reader_->count_) +
+                " records promised by the "
+                "header in " + reader_->path_);
         return false;
     }
     decoder_.decode(pos_, end, rec);
@@ -569,19 +571,23 @@ TraceReader::next(InstrRecord &rec)
 }
 
 std::size_t
-TraceReader::nextBlock(InstrRecord *out, std::size_t maxRecords)
+TraceCursor::nextBlock(InstrRecord *out, std::size_t maxRecords)
 {
-    const std::uint8_t *end = payload_.data() + payload_.size();
-    if (read_ >= count_) {
+    if (!reader_)
+        return 0;
+    const std::uint8_t *end =
+        reader_->data_ + reader_->payloadSize_;
+    if (read_ >= reader_->count_) {
         if (pos_ != end)
             throw std::runtime_error(
                 "TraceReader: payload continues past the " +
-                std::to_string(count_) + " records promised by the "
-                "header in " + path_);
+                std::to_string(reader_->count_) +
+                " records promised by the "
+                "header in " + reader_->path_);
         return 0;
     }
-    const std::size_t want = std::size_t(
-        std::min<std::uint64_t>(count_ - read_, maxRecords));
+    const std::size_t want = std::size_t(std::min<std::uint64_t>(
+        reader_->count_ - read_, maxRecords));
     const std::size_t got = decoder_.decodeBlock(pos_, end, out, want);
     read_ += got;
     if (got < want) {
@@ -597,7 +603,7 @@ TraceReader::nextBlock(InstrRecord *out, std::size_t maxRecords)
 std::uint64_t
 TraceReader::drainTo(TraceSink &sink)
 {
-    InstrRecord block[128];
+    InstrRecord block[256];
     std::uint64_t n = 0;
     for (;;) {
         const std::size_t got = nextBlock(block, std::size(block));

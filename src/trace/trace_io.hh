@@ -145,6 +145,18 @@ class RecordEncoder
     std::uint64_t prevAddr_ = 0;
 };
 
+/**
+ * Cross-record delta state of the decoder: the running previous value
+ * of each delta-encoded lane. Split out of RecordDecoder so the
+ * runtime-dispatched block decoders (trace/simd_decode.hh) can thread
+ * the exact same state through their fast paths.
+ */
+struct DecodeState {
+    std::uint64_t prevId = 0;
+    std::uint64_t prevPc = 0;
+    std::uint64_t prevAddr = 0;
+};
+
 /// Stateful decoder matching RecordEncoder.
 class RecordDecoder
 {
@@ -161,10 +173,12 @@ class RecordDecoder
      * Decode up to @p maxRecords records from [@p p, @p end) into
      * @p out, advancing @p p. Records are decoded on an unchecked
      * fast path while at least maxRecordBytes remain (no per-field
-     * bounds checks), falling back to the checked scalar path near
-     * the end of the buffer, so the result is byte-for-byte identical
-     * to @p maxRecords decode() calls - including every error case
-     * (trace_io_test locks the equivalence property).
+     * bounds checks; the path is SIMD-accelerated when the host
+     * supports it, see trace/simd_decode.hh), falling back to the
+     * checked scalar path near the end of the buffer, so the result
+     * is byte-for-byte identical to @p maxRecords decode() calls -
+     * including every error case (trace_io_test and simd_decode_test
+     * lock the equivalence property across every dispatch tier).
      *
      * @return the number of records decoded; less than @p maxRecords
      * only when the buffer ended cleanly on a record boundary.
@@ -175,9 +189,7 @@ class RecordDecoder
                             std::size_t maxRecords);
 
   private:
-    std::uint64_t prevId_ = 0;
-    std::uint64_t prevPc_ = 0;
-    std::uint64_t prevAddr_ = 0;
+    DecodeState st_;
 };
 
 } // namespace wire
@@ -244,12 +256,66 @@ struct TraceKeyMismatch : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
 
+class TraceReader;
+
+/**
+ * One independent decode pass over a TraceReader's validated payload.
+ *
+ * A cursor owns its own decoder state and position, so any number of
+ * cursors (e.g. one per replay shard) can walk the same reader - and
+ * the same mmap'd bytes - concurrently without re-opening or copying
+ * the file. Decoding is read-only on the shared payload; the only
+ * mutable state is inside the cursor itself. The reader must outlive
+ * every cursor obtained from it.
+ */
+class TraceCursor
+{
+  public:
+    /// An empty cursor; next()/nextBlock() report end of trace.
+    TraceCursor() = default;
+
+    /**
+     * Read the next record. @return false at end of trace.
+     * @throws std::runtime_error if the payload is malformed or does
+     * not contain exactly the record count promised by the header.
+     */
+    bool next(InstrRecord &rec);
+
+    /**
+     * Read up to @p maxRecords records into @p out via the block
+     * decoder. @return the number read; 0 only at end of trace.
+     * Interleaves freely with next() (one decode stream) and applies
+     * the same malformed-payload and record-count checks.
+     */
+    std::size_t nextBlock(InstrRecord *out, std::size_t maxRecords);
+
+    /// Records decoded by this cursor so far.
+    std::uint64_t read() const { return read_; }
+
+  private:
+    friend class TraceReader;
+    explicit TraceCursor(const TraceReader *reader);
+
+    const TraceReader *reader_ = nullptr;
+    const std::uint8_t *pos_ = nullptr;
+    wire::RecordDecoder decoder_;
+    std::uint64_t read_ = 0;
+};
+
 /**
  * Reader for UATRACE2 files produced by FileSink.
  *
- * The whole payload is loaded and checksum-verified at construction;
- * next() then decodes incrementally and throws on any malformed
- * record, so a short read can never be mistaken for end-of-trace.
+ * The payload is checksum-verified at construction and then served
+ * zero-copy: on POSIX hosts the file is mmap'd (with
+ * madvise(MADV_SEQUENTIAL) as a streaming hint) and decoding walks
+ * the mapping directly; when mmap is unavailable - or disabled via
+ * the UASIM_NO_MMAP environment variable - the payload is read into a
+ * heap buffer instead, with identical behaviour (mapped() tells which
+ * path was taken). Header, key and mix reads never touch the payload
+ * mapping. next() decodes incrementally and throws on any malformed
+ * record, so a short read can never be mistaken for end-of-trace;
+ * cursor() hands out additional independent decode passes over the
+ * same validated bytes.
  */
 class TraceReader
 {
@@ -264,6 +330,7 @@ class TraceReader
      */
     explicit TraceReader(const std::string &path,
                          const std::string &expectKey = {});
+    ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
@@ -278,12 +345,28 @@ class TraceReader
     /// (hash-validated; equals the mix of the decoded stream).
     const InstrMix &mix() const { return mix_; }
 
+    /// Payload length in bytes (the compressed record stream).
+    std::uint64_t payloadBytes() const { return payloadSize_; }
+
+    /// True when the payload is served zero-copy from an mmap'd view
+    /// of the file; false on the buffered fallback path.
+    bool mapped() const { return mapBase_ != nullptr; }
+
+    /**
+     * A fresh, independent decode pass positioned at the first
+     * record. Cursors share the reader's validated payload bytes and
+     * nothing else, so passes may run on different threads
+     * concurrently (and concurrently with the reader's own
+     * next()/nextBlock() stream).
+     */
+    TraceCursor cursor() const { return TraceCursor(this); }
+
     /**
      * Read the next record. @return false at end of trace.
      * @throws std::runtime_error if the payload is malformed or does
      * not contain exactly count() records.
      */
-    bool next(InstrRecord &rec);
+    bool next(InstrRecord &rec) { return cur_.next(rec); }
 
     /**
      * Read up to @p maxRecords records into @p out via the block
@@ -291,21 +374,29 @@ class TraceReader
      * Interleaves freely with next() (one decode stream) and applies
      * the same malformed-payload and record-count checks.
      */
-    std::size_t nextBlock(InstrRecord *out, std::size_t maxRecords);
+    std::size_t
+    nextBlock(InstrRecord *out, std::size_t maxRecords)
+    {
+        return cur_.nextBlock(out, maxRecords);
+    }
 
     /// Stream the remaining records into a sink in block-decoded
     /// batches (TraceSink::appendBlock). @return records read.
     std::uint64_t drainTo(TraceSink &sink);
 
   private:
+    friend class TraceCursor;
+
     std::string path_;
     std::string key_;
     InstrMix mix_;
-    std::vector<std::uint8_t> payload_;
-    const std::uint8_t *pos_ = nullptr;
-    wire::RecordDecoder decoder_;
+    std::vector<std::uint8_t> payload_;  //!< buffered fallback storage
+    void *mapBase_ = nullptr;            //!< whole-file mapping base
+    std::size_t mapLen_ = 0;
+    const std::uint8_t *data_ = nullptr; //!< payload start (either path)
+    std::uint64_t payloadSize_ = 0;
     std::uint64_t count_ = 0;
-    std::uint64_t read_ = 0;
+    TraceCursor cur_;  //!< backs the reader's own next()/nextBlock()
 };
 
 /**

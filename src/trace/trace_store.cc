@@ -126,6 +126,32 @@ TraceStore::loadSummary(const std::string &key) const
     }
 }
 
+std::unique_ptr<TraceReader>
+TraceStore::openReader(const std::string &key) const
+{
+    const std::string path = entryPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return nullptr;
+    try {
+        return std::make_unique<TraceReader>(path, key);
+    } catch (const TraceKeyMismatch &e) {
+        std::fprintf(stderr, "trace-store: %s; treating as miss\n",
+                     e.what());
+        return nullptr;
+    } catch (const std::exception &e) {
+        reportAndRemove(path, "corrupt entry", e.what());
+        return nullptr;
+    }
+}
+
+void
+TraceStore::discardEntry(const std::string &key,
+                         const std::string &why) const
+{
+    reportAndRemove(entryPath(key), "corrupt entry", why);
+}
+
 std::unique_ptr<TraceStore::Recorder>
 TraceStore::startRecord(const std::string &key) const
 {

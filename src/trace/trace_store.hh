@@ -72,6 +72,29 @@ class TraceStore
     std::optional<TraceSummary> loadSummary(const std::string &key) const;
 
     /**
+     * Probe the store and open the entry for direct (zero-copy where
+     * mmap is available) decoding: the caller drains the reader - or
+     * any number of TraceCursor passes over it - itself. This is the
+     * multi-shard replay path; unlike load() nothing is streamed
+     * eagerly, so a hit costs one checksum pass and no payload copy.
+     *
+     * @return nullptr on a miss; corruption policy as load() (report,
+     * delete, miss). The reader's payload decodes lazily, so a
+     * corrupt record stream with a valid checksum surfaces later as a
+     * decode throw - see discardEntry() for healing that case.
+     */
+    std::unique_ptr<TraceReader> openReader(const std::string &key) const;
+
+    /**
+     * Report and delete the entry for @p key (mid-decode corruption
+     * healing: callers that hit a decode error on an openReader()
+     * stream discard the entry and re-record, matching load()'s
+     * corrupt-entry policy). Best-effort; never throws.
+     */
+    void discardEntry(const std::string &key,
+                      const std::string &why) const;
+
+    /**
      * Write-through sink for one entry: records appended to it are
      * serialized to a temporary file that commit() atomically renames
      * to entryPath(key). Destroying an uncommitted recorder removes

@@ -528,3 +528,93 @@ TEST(SweepReplayMode, SingleCellAndMixOnlyPassAccounting)
     mixRunner.run(mixOnly);
     EXPECT_EQ(mixRunner.stats().replayPasses, 0u);
 }
+
+// ---- intra-group cell sharding (single big group) ----
+
+namespace {
+
+/// One trace group, 16 timing cells: the worst case for group-level
+/// parallelism (pool collapses to one worker) and the best case for
+/// intra-group cell sharding.
+SweepPlan
+makeSingleBigGroupPlan()
+{
+    const KernelSpec spec{KernelId::Sad, 16, false};
+    SweepPlan plan;
+    int t = plan.addTrace(core::kernelTraceJob(spec, Variant::Unaligned, 4));
+    for (int i = 0; i < 16; ++i) {
+        auto cfg = (i % 2) ? timing::CoreConfig::fourWayOoO()
+                           : timing::CoreConfig::twoWayInOrder();
+        plan.addCell(t, plan.addConfig("c" + std::to_string(i), cfg));
+    }
+    return plan;
+}
+
+} // namespace
+
+TEST(SweepSharding, SingleBigGroupUsesFullThreadBudget)
+{
+    // Before sharding, a 1-group sweep at --threads 8 ran on one
+    // thread (the pool is sized by group count). Now the group's 16
+    // cells split across min(threads, cells) replay shards - more
+    // than one worker must participate, bit-identically.
+    SweepRunner one(1);
+    SweepRunner eight(8);
+    auto a = one.run(makeSingleBigGroupPlan());
+    auto b = eight.run(makeSingleBigGroupPlan());
+    expectResultsEqual(a, b);
+
+    // 1 thread: one batched pass over the group. 8 threads: 8 shards,
+    // each running its own pass - honest pass accounting - and
+    // stats().threads reports the fan-out actually used.
+    EXPECT_EQ(one.stats().replayPasses, 1u);
+    EXPECT_EQ(one.stats().threads, 1);
+    EXPECT_EQ(eight.stats().replayPasses, 8u);
+    EXPECT_EQ(eight.stats().threads, 8);
+
+    // The simulated accounting is shard-invariant (it gates).
+    EXPECT_EQ(one.stats().instrsReplayed, eight.stats().instrsReplayed);
+    EXPECT_EQ(one.stats().cellsRun, eight.stats().cellsRun);
+    EXPECT_EQ(one.stats().instrsRecorded, eight.stats().instrsRecorded);
+
+    // PerCell mode shards too and stays bit-identical: 8 shards of 2
+    // cells, each cell still its own pass.
+    SweepRunner percell(8);
+    percell.setReplayMode(core::ReplayMode::PerCell);
+    expectResultsEqual(a, percell.run(makeSingleBigGroupPlan()));
+    EXPECT_EQ(percell.stats().replayPasses, 16u);
+    EXPECT_EQ(percell.stats().threads, 8);
+}
+
+TEST(SweepSharding, WarmStoreShardedReplayBitIdenticalAndAccounted)
+{
+    StoreDir dir("sharded_warm");
+    auto baseline = SweepRunner(1).run(makeSingleBigGroupPlan());
+
+    SweepRunner cold(8);
+    cold.attachStore(dir.path);
+    expectResultsEqual(baseline, cold.run(makeSingleBigGroupPlan()));
+    EXPECT_EQ(cold.stats().tracesRecorded, 1u);
+    EXPECT_EQ(cold.stats().tracesLoaded, 0u);
+    // Cold replay feeds already-decoded records from the in-memory
+    // buffer; no payload bytes go through the block decoder.
+    EXPECT_EQ(cold.stats().decodeBytes, 0u);
+    EXPECT_EQ(cold.stats().bytesMapped, 0u);
+
+    SweepRunner warm(8);
+    warm.attachStore(dir.path);
+    expectResultsEqual(baseline, warm.run(makeSingleBigGroupPlan()));
+    const auto &ws = warm.stats();
+    EXPECT_EQ(ws.tracesRecorded, 0u);
+    EXPECT_EQ(ws.tracesLoaded, 1u);
+    EXPECT_EQ(ws.replayPasses, 8u);
+    EXPECT_EQ(ws.instrsReplayed, cold.stats().instrsReplayed);
+
+    // Each shard decodes the whole payload (decode work counts per
+    // pass); mapped bytes count once per opened trace.
+    EXPECT_GT(ws.decodeBytes, 0u);
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_GT(ws.bytesMapped, 0u);
+    EXPECT_EQ(ws.decodeBytes, ws.replayPasses * ws.bytesMapped);
+#endif
+}
