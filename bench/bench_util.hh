@@ -19,6 +19,7 @@
 
 #include "core/result.hh"
 #include "core/sweep.hh"
+#include "timing/model.hh"
 #include "video/sequence.hh"
 
 namespace uasim::bench {
@@ -135,8 +136,42 @@ replayModeFlag(int argc, char **argv)
 }
 
 /**
+ * Timing-backend selector ("--timing-model pipeline|ooo", default
+ * pipeline). Every timing cell of the run simulates on the named
+ * TimingModel backend (SweepRunner::setTimingModel overrides each
+ * config's model field); results from different backends are
+ * different experiments, so artifacts carry the model as a gating
+ * "timing_model" param and non-default models get model-suffixed
+ * canonical artifact names. An unknown name is fatal, like every
+ * other malformed bench flag.
+ */
+inline std::string
+timingModelFlag(int argc, char **argv)
+{
+    const std::string name =
+        stringFlag(argc, argv, "--timing-model", "pipeline");
+    if (!timing::isTimingModel(name)) {
+        std::string known;
+        for (const auto &m : timing::timingModelNames()) {
+            if (!known.empty())
+                known += ", ";
+            known += '"';
+            known += m;
+            known += '"';
+        }
+        std::fprintf(stderr,
+                     "--timing-model: unknown model \"%s\" "
+                     "(expected %s)\n",
+                     name.c_str(), known.c_str());
+        std::exit(2);
+    }
+    return name;
+}
+
+/**
  * SweepRunner configured from the shared bench flags: "--threads N"
- * workers, "--replay-mode batched|percell" group replay, plus, when
+ * workers, "--replay-mode batched|percell" group replay,
+ * "--timing-model pipeline|ooo" backend selection, plus, when
  * "--trace-cache DIR" is given, a persistent content-addressed trace
  * store (trace/trace_store.hh). With the store, a second (warm) run
  * of the same grid replays every kernel trace from disk instead of
@@ -148,6 +183,7 @@ makeSweepRunner(int argc, char **argv)
 {
     core::SweepRunner runner(threadsFlag(argc, argv));
     runner.setReplayMode(replayModeFlag(argc, argv));
+    runner.setTimingModel(timingModelFlag(argc, argv));
     const std::string dir = traceCacheFlag(argc, argv);
     if (dir.empty() && boolFlag(argc, argv, "--trace-cache")) {
         // Same rule as --json: an empty DIR (unset shell variable)
@@ -178,7 +214,8 @@ jsonFlag(int argc, char **argv)
 /**
  * Start a BenchResult for this bench: names it and records the shared
  * flags every bench honors ("quick" first, so artifacts lead with the
- * workload scale).
+ * workload scale; then "timing_model", because a different backend is
+ * a different experiment and must gate baseline comparison).
  */
 inline core::BenchResult
 makeResult(const char *bench, int argc, char **argv)
@@ -186,13 +223,19 @@ makeResult(const char *bench, int argc, char **argv)
     core::BenchResult r;
     r.bench = bench;
     r.addParam("quick", json::Value(quickFlag(argc, argv)));
+    r.addParam("timing_model",
+               json::Value(timingModelFlag(argc, argv)));
     return r;
 }
 
 /**
  * Emit the BENCH_<name>.json artifact when "--json PATH" was given.
  * PATH naming an existing directory (or ending in '/') places the
- * canonically named BENCH_<bench>.json inside it; otherwise the
+ * canonically named artifact inside it - BENCH_<bench>.json on the
+ * default backend, BENCH_<bench>.<model>.json under a non-default
+ * "--timing-model" (per-model runs are separate experiments with
+ * separate baselines, and the suffix keeps them paired by filename in
+ * baseline diffs); otherwise the
  * artifact is written to PATH exactly. The write is atomic
  * (tmp+rename) and a failure is fatal: CI consumes these artifacts,
  * so a silently missing one must not look like a passing run.
@@ -214,9 +257,14 @@ writeResultArtifact(int argc, char **argv,
     std::error_code ec;
     if (path.back() == '/' ||
         std::filesystem::is_directory(path, ec)) {
-        path = (std::filesystem::path(path) /
-                ("BENCH_" + result.bench + ".json"))
-                   .string();
+        const std::string model = timingModelFlag(argc, argv);
+        std::string file = "BENCH_" + result.bench;
+        if (model != "pipeline") {
+            file += '.';
+            file += model;
+        }
+        file += ".json";
+        path = (std::filesystem::path(path) / file).string();
     }
     try {
         core::saveResultFile(result, path);

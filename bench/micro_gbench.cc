@@ -11,7 +11,7 @@
 #include "core/experiment.hh"
 #include "h264/cabac.hh"
 #include "mem/hierarchy.hh"
-#include "timing/pipeline.hh"
+#include "timing/model.hh"
 #include "trace/emitter.hh"
 #include "vmx/buffer.hh"
 #include "vmx/realign.hh"
@@ -83,17 +83,21 @@ BM_CacheAccess(benchmark::State &state)
 BENCHMARK(BM_CacheAccess);
 
 void
-BM_PipelineSimInstrRate(benchmark::State &state)
+BM_TimingModelInstrRate(benchmark::State &state)
 {
     // How many instructions per second can the timing model consume?
+    // Axis 0 is the Table II preset, axis 1 the backend index into
+    // timing::timingModelNames() ("pipeline", "ooo", ...).
     timing::CoreConfig cfg = timing::CoreConfig::preset(
         int(state.range(0)));
+    cfg.model = timing::timingModelNames()[
+        std::size_t(state.range(1))];
     vmx::AlignedBuffer buf(65536, 0);
     std::uint64_t n = 0;
     for (auto _ : state) {
         state.PauseTiming();
-        timing::PipelineSim sim(cfg);
-        trace::Emitter em(sim);
+        auto sim = timing::makeTimingModel(cfg);
+        trace::Emitter em(*sim);
         vmx::ScalarOps so(em);
         state.ResumeTiming();
         vmx::CPtr p = so.lip(buf.data());
@@ -104,12 +108,17 @@ BM_PipelineSimInstrRate(benchmark::State &state)
             if ((i & 15) == 15)
                 so.loopBranch(i + 1 < 2000);
         }
-        sim.finalize();
+        sim->finalize();
         n += em.count();
     }
     state.SetItemsProcessed(int64_t(n));
 }
-BENCHMARK(BM_PipelineSimInstrRate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TimingModelInstrRate)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({1, 1})
+    ->Args({2, 1});
 
 void
 BM_TracedKernel(benchmark::State &state)

@@ -8,8 +8,12 @@
 # Usage (the results_baseline ctest entry):
 #   cmake -DBENCH_DIR=<bench bin dir> -DREPORT=<uasim-report>
 #         -DBASELINES=<repo baselines dir> -DWORK=<scratch dir>
-#         -DBENCHES=a,b,c -DCACHE_BENCHES=x,y
+#         -DBENCHES=a,b,c -DCACHE_BENCHES=x,y -DOOO_BENCHES=x
 #         [-DUPDATE=1] -P ResultsBaseline.cmake
+#
+# OOO_BENCHES additionally run under "--timing-model ooo"; their
+# model-suffixed BENCH_<bench>.ooo.json artifacts gate against their
+# own committed baselines.
 #
 # With -DUPDATE=1 the script regenerates the --threads 1 artifacts and
 # rewrites the baselines (uasim-report --update-baselines) instead of
@@ -23,6 +27,7 @@ endforeach()
 
 string(REPLACE "," ";" BENCHES "${BENCHES}")
 string(REPLACE "," ";" CACHE_BENCHES "${CACHE_BENCHES}")
+string(REPLACE "," ";" OOO_BENCHES "${OOO_BENCHES}")
 
 file(REMOVE_RECURSE ${WORK})
 
@@ -38,6 +43,25 @@ function(run_bench bench outdir)
     if(NOT rc EQUAL 0)
         message(FATAL_ERROR
             "${bench} --quick ${ARGN} exited ${rc}\n${err}")
+    endif()
+endfunction()
+
+# Same, on a non-default timing model (-DOOO_BENCHES): the artifact
+# takes the model-suffixed canonical name, so it pairs with its own
+# committed baseline instead of the pipeline one.
+function(run_bench_model bench model outdir)
+    file(MAKE_DIRECTORY ${WORK}/${outdir})
+    execute_process(
+        COMMAND ${BENCH_DIR}/${bench} --quick ${ARGN}
+                --timing-model ${model}
+                --json ${WORK}/${outdir}/BENCH_${bench}.${model}.json
+        OUTPUT_QUIET
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${bench} --quick --timing-model ${model} ${ARGN} "
+            "exited ${rc}\n${err}")
     endif()
 endfunction()
 
@@ -59,6 +83,11 @@ if(UPDATE)
     foreach(bench IN LISTS BENCHES)
         run_bench(${bench} t1 --threads 1)
     endforeach()
+    # Model-suffixed artifacts land in the same set so the --prune
+    # refresh below keeps (rather than retires) their baselines.
+    foreach(bench IN LISTS OOO_BENCHES)
+        run_bench_model(${bench} ooo t1 --threads 1)
+    endforeach()
     execute_process(
         COMMAND ${REPORT} --update-baselines --prune ${BASELINES}
                 ${WORK}/t1
@@ -73,6 +102,10 @@ endif()
 foreach(bench IN LISTS BENCHES)
     run_bench(${bench} t1 --threads 1)
     run_bench(${bench} t4 --threads 4)
+endforeach()
+foreach(bench IN LISTS OOO_BENCHES)
+    run_bench_model(${bench} ooo t1 --threads 1)
+    run_bench_model(${bench} ooo t4 --threads 4)
 endforeach()
 
 check_report("baselines vs --threads 1" ${BASELINES} ${WORK}/t1)

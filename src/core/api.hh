@@ -39,6 +39,8 @@
 #include "mem/hierarchy.hh"
 #include "timing/branch_pred.hh"
 #include "timing/config.hh"
+#include "timing/model.hh"
+#include "timing/ooo_pipeline.hh"
 #include "timing/pipeline.hh"
 #include "timing/results.hh"
 #include "trace/addrmap.hh"

@@ -20,7 +20,8 @@
 #include <vector>
 
 #include "h264/kernels.hh"
-#include "timing/pipeline.hh"
+#include "timing/config.hh"
+#include "timing/results.hh"
 #include "trace/mix.hh"
 #include "trace/sink.hh"
 #include "video/frame.hh"
@@ -95,13 +96,14 @@ class KernelBench
     /**
      * Stream the address-normalized trace of @p execs executions of
      * @p variant into @p sink. This is the capture half of simulate():
-     * replaying the recorded stream into a PipelineSim yields exactly
+     * replaying the recorded stream into a timing model yields exactly
      * the result simulate() returns for the same bench state.
      */
     void recordTrace(h264::Variant variant, int execs,
                      trace::TraceSink &sink);
 
-    /// Simulated execution of @p execs executions on @p cfg.
+    /// Simulated execution of @p execs executions on @p cfg (the
+    /// backend selected by cfg.model via timing::makeTimingModel).
     timing::SimResult simulate(h264::Variant variant,
                                const timing::CoreConfig &cfg, int execs);
 

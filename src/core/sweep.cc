@@ -10,8 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "timing/batched_pipeline.hh"
-#include "timing/pipeline.hh"
+#include "timing/model.hh"
 #include "trace/trace_buffer.hh"
 
 namespace uasim::core {
@@ -234,8 +233,14 @@ SweepRunner::run(const SweepPlan &plan)
                     if (cell.config == SweepCell::mixOnly)
                         continue;
                     timingCis.push_back(ci);
-                    timingCfgs.push_back(
-                        plan.configs()[cell.config].cfg);
+                    timing::CoreConfig cfg =
+                        plan.configs()[cell.config].cfg;
+                    // The backend override is applied on the runner's
+                    // private copy: the plan keeps describing the grid,
+                    // the runner decides which model simulates it.
+                    if (!timingModel_.empty())
+                        cfg.model = timingModel_;
+                    timingCfgs.push_back(std::move(cfg));
                 }
                 const int timingCells = int(timingCis.size());
 
@@ -246,9 +251,9 @@ SweepRunner::run(const SweepPlan &plan)
                 const int simCi = timingCells == 1 ? timingCis[0] : -1;
 
                 // Replay a captured record stream into every timing
-                // cell of the group: BatchedPipelineSim passes in
-                // Batched mode, one PipelineSim walk per cell in the
-                // PerCell reference mode. Spare thread budget splits
+                // cell of the group: one batched model pass in
+                // Batched mode, one per-cell model walk per cell in
+                // the PerCell reference mode. Spare thread budget splits
                 // the cells across shards, each replaying its slice
                 // from its own pass over the buffer - cells are
                 // mutually independent, so any split fills identical
@@ -269,9 +274,10 @@ SweepRunner::run(const SweepPlan &plan)
                             std::vector<timing::CoreConfig> cfgs(
                                 timingCfgs.begin() + lo,
                                 timingCfgs.begin() + hi);
-                            timing::BatchedPipelineSim batch(cfgs);
-                            buf.replayInto(batch);
-                            auto sims = batch.finalizeAll();
+                            auto batch =
+                                timing::makeBatchedTimingModel(cfgs);
+                            buf.replayInto(*batch);
+                            auto sims = batch->finalizeAll();
                             for (std::size_t i = lo; i < hi; ++i) {
                                 results[timingCis[i]].sim =
                                     std::move(sims[i - lo]);
@@ -287,10 +293,11 @@ SweepRunner::run(const SweepPlan &plan)
                             const std::size_t hi =
                                 cellsN * std::size_t(k + 1) / nShards;
                             for (std::size_t i = lo; i < hi; ++i) {
-                                timing::PipelineSim sim(timingCfgs[i]);
-                                buf.replayInto(sim);
+                                auto sim = timing::makeTimingModel(
+                                    timingCfgs[i]);
+                                buf.replayInto(*sim);
                                 results[timingCis[i]].sim =
-                                    sim.finalize();
+                                    sim->finalize();
                                 lt.replayed += buf.size();
                                 ++lt.replayPasses;
                             }
@@ -335,9 +342,10 @@ SweepRunner::run(const SweepPlan &plan)
                                 timingCfgs.begin() + lo,
                                 timingCfgs.begin() + hi);
                             auto t0 = Clock::now();
-                            timing::BatchedPipelineSim batch(cfgs);
-                            decodePassInto(batch, lt);
-                            auto sims = batch.finalizeAll();
+                            auto batch =
+                                timing::makeBatchedTimingModel(cfgs);
+                            decodePassInto(*batch, lt);
+                            auto sims = batch->finalizeAll();
                             for (std::size_t i = lo; i < hi; ++i) {
                                 results[timingCis[i]].sim =
                                     std::move(sims[i - lo]);
@@ -355,10 +363,11 @@ SweepRunner::run(const SweepPlan &plan)
                                 cellsN * std::size_t(k + 1) / nShards;
                             for (std::size_t i = lo; i < hi; ++i) {
                                 auto t0 = Clock::now();
-                                timing::PipelineSim sim(timingCfgs[i]);
-                                decodePassInto(sim, lt);
+                                auto sim = timing::makeTimingModel(
+                                    timingCfgs[i]);
+                                decodePassInto(*sim, lt);
                                 results[timingCis[i]].sim =
-                                    sim.finalize();
+                                    sim->finalize();
                                 lt.replaySec += secondsSince(t0);
                                 lt.replayed += reader.count();
                                 ++lt.replayPasses;
@@ -396,7 +405,8 @@ SweepRunner::run(const SweepPlan &plan)
                     if (auto reader = store->openReader(job.key)) {
                         try {
                             auto t0 = Clock::now();
-                            timing::PipelineSim sim(timingCfgs[0]);
+                            auto sim = timing::makeTimingModel(
+                                timingCfgs[0]);
                             trace::TraceCursor cur = reader->cursor();
                             trace::InstrRecord block[1024];
                             for (;;) {
@@ -406,9 +416,9 @@ SweepRunner::run(const SweepPlan &plan)
                                 local.decodeSec += secondsSince(d0);
                                 if (got == 0)
                                     break;
-                                sim.appendBlock(block, got);
+                                sim->appendBlock(block, got);
                             }
-                            results[simCi].sim = sim.finalize();
+                            results[simCi].sim = sim->finalize();
                             mix = reader->mix();
                             local.replaySec += secondsSince(t0);
                             local.decodeBytes +=
@@ -481,12 +491,10 @@ SweepRunner::run(const SweepPlan &plan)
                     // instructions count as both recorded and
                     // replayed, keeping the instruction totals
                     // identical to the buffered path's.
-                    const auto &cfgJob =
-                        plan.configs()[plan.cells()[simCi].config];
                     auto t0 = Clock::now();
-                    timing::PipelineSim sim(cfgJob.cfg);
+                    auto sim = timing::makeTimingModel(timingCfgs[0]);
                     trace::CountingSink counter;
-                    trace::TeeSink tee(counter, sim);
+                    trace::TeeSink tee(counter, *sim);
                     if (recorder) {
                         trace::TeeSink teeStore(tee, *recorder);
                         job.record(teeStore);
@@ -494,7 +502,7 @@ SweepRunner::run(const SweepPlan &plan)
                         job.record(tee);
                     }
                     auto &res = results[simCi];
-                    res.sim = sim.finalize();
+                    res.sim = sim->finalize();
                     mix = counter.mix();
                     local.streamSec += secondsSince(t0);
                     local.recorded += mix.total();

@@ -8,16 +8,18 @@
  * strategy loop, a decoder-stage microbenchmark) and a set of core
  * configurations, plus the cells of the grid to evaluate. The runner
  * records each referenced trace exactly once (keyed cache), replays
- * it into a fresh PipelineSim per cell, and shards the work across a
- * thread pool. Results land in cell order regardless of scheduling,
- * so reports are byte-identical from 1 thread to N.
+ * it into a fresh timing model per cell (built through the
+ * timing::TimingModel factory, so the runner never names a concrete
+ * backend), and shards the work across a thread pool. Results land in
+ * cell order regardless of scheduling, so reports are byte-identical
+ * from 1 thread to N.
  *
  * With a persistent store attached (attachStore), "once" extends
  * across processes: each cacheable trace job probes the store first,
  * replays from disk on a hit, and records through to disk on a miss,
  * so repeated grid invocations warm-start instead of re-emulating.
  *
- * Exactness: replaying a recorded trace into PipelineSim is
+ * Exactness: replaying a recorded trace into a timing model is
  * bit-identical to streaming the emulation straight into the model
  * (tests/sweep_test.cc locks this), so a sweep produces exactly the
  * simulated cycles the hand-rolled per-cell loops did - it just
@@ -86,8 +88,9 @@ struct SweepCell {
  * How a multi-timing-cell trace group is replayed.
  *
  * Batched (the default) advances every cell of the group from one
- * pass over the record stream (timing::BatchedPipelineSim); PerCell
- * re-walks the buffer once per cell with a standalone PipelineSim.
+ * pass over the record stream (timing::makeBatchedTimingModel);
+ * PerCell re-walks the buffer once per cell with a standalone
+ * per-cell model (timing::makeTimingModel).
  * The two are bit-identical in every simulated field
  * (tests/batched_replay_test.cc is the differential harness), so
  * PerCell exists as the reference oracle and for debugging, not as a
@@ -249,6 +252,22 @@ class SweepRunner
     void setReplayMode(ReplayMode mode) { replayMode_ = mode; }
     ReplayMode replayMode() const { return replayMode_; }
 
+    /**
+     * Force every timing cell onto one TimingModel backend ("pipeline",
+     * "ooo", ...; see timing::timingModelNames). Applied as an override
+     * of CoreConfig::model when the runner copies each cell's config,
+     * so plans keep encoding the paper grid and the backend stays a
+     * run-time axis. Empty (the default) leaves each config's own
+     * model field in charge. An unknown name surfaces as
+     * std::invalid_argument from the factory when run() reaches the
+     * first timing cell.
+     */
+    void setTimingModel(std::string model)
+    {
+        timingModel_ = std::move(model);
+    }
+    const std::string &timingModel() const { return timingModel_; }
+
     /// Run the plan. @return per-cell results in plan cell order.
     std::vector<SweepCellResult> run(const SweepPlan &plan);
 
@@ -262,6 +281,7 @@ class SweepRunner
     SweepStats stats_;
     std::unique_ptr<trace::TraceStore> store_;
     ReplayMode replayMode_ = ReplayMode::Batched;
+    std::string timingModel_;  //!< backend override; empty = per-config
 };
 
 /**

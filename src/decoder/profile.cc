@@ -7,7 +7,7 @@
 #include "h264/deblock.hh"
 #include "h264/idct_kernels.hh"
 #include "h264/luma_kernels.hh"
-#include "timing/pipeline.hh"
+#include "timing/model.hh"
 #include "trace/addrmap.hh"
 #include "trace/emitter.hh"
 #include "video/rng.hh"
@@ -245,9 +245,10 @@ measureStageCosts(Variant variant, const timing::CoreConfig &cfg)
 {
     StageCosts costs;
     for (const auto &job : stageCostJobs(variant)) {
-        timing::PipelineSim sim(cfg);
-        job.record(sim);
-        job.assign(costs, double(sim.finalize().cycles) / job.divisor);
+        auto sim = timing::makeTimingModel(cfg);
+        job.record(*sim);
+        job.assign(costs,
+                   double(sim->finalize().cycles) / job.divisor);
     }
     return costs;
 }

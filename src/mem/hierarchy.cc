@@ -10,8 +10,19 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
 }
 
 int
+MemoryHierarchy::busDelay(std::uint64_t now, unsigned line_bytes)
+{
+    if (cfg_.memBWBytesPerCycle <= 0)
+        return 0;
+    const auto bw = static_cast<std::uint64_t>(cfg_.memBWBytesPerCycle);
+    const std::uint64_t start = std::max(busFree_, now);
+    busFree_ = start + (line_bytes + bw - 1) / bw;
+    return int(start - now);
+}
+
+int
 MemoryHierarchy::lineLatency(std::uint64_t line_addr, bool is_write,
-                             AccessResult &res)
+                             AccessResult &res, std::uint64_t now)
 {
     if (l1d_.access(line_addr, is_write))
         return 0;
@@ -19,21 +30,22 @@ MemoryHierarchy::lineLatency(std::uint64_t line_addr, bool is_write,
     if (l2_.access(line_addr, false))
         return cfg_.l2Latency;
     res.l2Miss = true;
-    return cfg_.l2Latency + cfg_.memLatency;
+    return cfg_.l2Latency + cfg_.memLatency +
+        busDelay(now, cfg_.l2.lineSize);
 }
 
 AccessResult
 MemoryHierarchy::dataAccess(std::uint64_t addr, unsigned size,
-                            bool is_write)
+                            bool is_write, std::uint64_t now)
 {
     AccessResult res;
     std::uint64_t first = l1d_.lineAddr(addr);
     std::uint64_t last = l1d_.lineAddr(addr + size - 1);
 
-    int lat = lineLatency(first, is_write, res);
+    int lat = lineLatency(first, is_write, res, now);
     if (last != first) {
         res.crossedLine = true;
-        int lat2 = lineLatency(last, is_write, res);
+        int lat2 = lineLatency(last, is_write, res, now);
         lat = cfg_.parallelBanks ? std::max(lat, lat2) : lat + lat2;
     }
     res.extraLatency = lat;
@@ -41,7 +53,7 @@ MemoryHierarchy::dataAccess(std::uint64_t addr, unsigned size,
 }
 
 AccessResult
-MemoryHierarchy::fetchAccess(std::uint64_t pc)
+MemoryHierarchy::fetchAccess(std::uint64_t pc, std::uint64_t now)
 {
     AccessResult res;
     std::uint64_t line = l1i_.lineAddr(pc);
@@ -53,7 +65,8 @@ MemoryHierarchy::fetchAccess(std::uint64_t pc)
         return res;
     }
     res.l2Miss = true;
-    res.extraLatency = cfg_.l2Latency + cfg_.memLatency;
+    res.extraLatency = cfg_.l2Latency + cfg_.memLatency +
+        busDelay(now, cfg_.l2.lineSize);
     return res;
 }
 

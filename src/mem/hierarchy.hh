@@ -27,6 +27,17 @@ struct HierarchyConfig {
     /// Fig 7 two-bank interleaved L1-D: line-crossing accesses probe
     /// both lines in parallel.
     bool parallelBanks = true;
+    /**
+     * Memory-bus bandwidth in bytes per cycle; 0 (the default)
+     * disables the throttle. When enabled, each L2-miss line fill
+     * occupies the bus for ceil(lineSize / memBWBytesPerCycle)
+     * cycles, and a fill arriving while the bus is busy pays the
+     * queuing delay on top of memLatency. Isolated misses see
+     * unchanged latency either way - only concurrent miss traffic
+     * beyond the configured bandwidth is penalized (the esesc memBW
+     * model; SCOORE derives ~11 B/cycle from DDR2-800 at 4.5 GHz).
+     */
+    int memBWBytesPerCycle = 0;
 };
 
 /// Outcome of one data-side access.
@@ -50,13 +61,15 @@ class MemoryHierarchy
     /**
      * Data access covering [addr, addr+size).
      * Accesses the L1-D (both lines if the range crosses a boundary)
-     * and the L2 on miss.
+     * and the L2 on miss. @p now is the requesting core's current
+     * cycle, used only by the memBWBytesPerCycle throttle (callers
+     * that never enable it may leave the default).
      */
     AccessResult dataAccess(std::uint64_t addr, unsigned size,
-                            bool is_write);
+                            bool is_write, std::uint64_t now = 0);
 
     /// Instruction fetch of the line containing @p pc.
-    AccessResult fetchAccess(std::uint64_t pc);
+    AccessResult fetchAccess(std::uint64_t pc, std::uint64_t now = 0);
 
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
@@ -70,12 +83,18 @@ class MemoryHierarchy
   private:
     /// One line's latency through L1-D -> L2 -> memory.
     int lineLatency(std::uint64_t line_addr, bool is_write,
-                    AccessResult &res);
+                    AccessResult &res, std::uint64_t now);
+
+    /// Bandwidth throttle: queuing delay of an L2-miss fill issued at
+    /// @p now, advancing the bus-busy horizon by the line's transfer
+    /// time. 0 when the throttle is disabled.
+    int busDelay(std::uint64_t now, unsigned line_bytes);
 
     HierarchyConfig cfg_;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
+    std::uint64_t busFree_ = 0;  //!< first cycle the memory bus is idle
 };
 
 } // namespace uasim::mem

@@ -10,7 +10,9 @@ using trace::InstrClass;
 using trace::InstrRecord;
 
 BatchedPipelineSim::Cell::Cell(const CoreConfig &config)
-    : cfg(config), mem(config.mem)
+    // Same rule as PipelineSim: reject a bad config before sizing
+    // anything from it.
+    : cfg((config.validate(), config)), mem(config.mem)
 {
     res.core = cfg.name;
     storeQ.reserve(cfg.storeQ);
@@ -30,6 +32,9 @@ BatchedPipelineSim::Cell::Cell(const CoreConfig &config)
 }
 
 BatchedPipelineSim::BatchedPipelineSim(const std::vector<CoreConfig> &cfgs)
+    // All cells share one predictor geometry (constructor
+    // precondition); the shared stream-pure predictor uses it.
+    : bpred_(cfgs.empty() ? 12u : unsigned(cfgs.front().bpredLog2Entries))
 {
     cells_.reserve(cfgs.size());
     std::size_t maxSpan = 1;
@@ -301,7 +306,8 @@ BatchedPipelineSim::retireStage(Cell &cell)
                     static_cast<std::size_t>(cell.cfg.missMax)) {
                 break;
             }
-            auto acc = cell.mem.dataAccess(rec.addr, rec.size, true);
+            auto acc = cell.mem.dataAccess(rec.addr, rec.size, true,
+                                           cell.now);
             if (acc.l1Miss)
                 cell.mshr.push_back(cell.now + acc.extraLatency);
             if (acc.crossedLine) {
@@ -405,16 +411,15 @@ BatchedPipelineSim::tryIssue(Cell &cell, std::uint64_t seq)
             ++cell.res.storeForwards;
         } else {
             auto &l1d = cell.mem.l1d();
-            // Mirrors PipelineSim: the serialized-bank second-port
-            // demand applies only to machines with >= 2 read ports
-            // (a single-ported core serializes the second bank
-            // access), and runs before the cache access so a
-            // port-starved retry cannot touch cache state.
+            // Mirrors PipelineSim via the shared
+            // CoreConfig::crossingLoadNeedsSecondPort() rule, run
+            // before the cache access so a port-starved retry cannot
+            // touch cache state.
             bool crosses =
                 l1d.lineAddr(rec.addr) !=
                 l1d.lineAddr(rec.addr + rec.size - 1);
-            if (crosses && !cell.cfg.mem.parallelBanks &&
-                cell.cfg.dReadPorts >= 2 && cell.readPorts < 2) {
+            if (crosses && cell.cfg.crossingLoadNeedsSecondPort() &&
+                cell.readPorts < 2) {
                 return false;
             }
             bool would_miss =
@@ -430,12 +435,12 @@ BatchedPipelineSim::tryIssue(Cell &cell, std::uint64_t seq)
                 slot.wake = wakeMshrFull;
                 return false;
             }
-            auto acc = cell.mem.dataAccess(rec.addr, rec.size, false);
+            auto acc = cell.mem.dataAccess(rec.addr, rec.size, false,
+                                           cell.now);
             extra = acc.extraLatency;
             if (acc.crossedLine) {
                 ++cell.res.lineCrossings;
-                if (!cell.cfg.mem.parallelBanks &&
-                    cell.cfg.dReadPorts >= 2)
+                if (cell.cfg.crossingLoadNeedsSecondPort())
                     --cell.readPorts;
             }
             if (acc.l1Miss)
@@ -601,7 +606,7 @@ BatchedPipelineSim::fetchStage(Cell &cell)
         // Instruction-cache access per new line.
         std::uint64_t line = cell.mem.l1i().lineAddr(rec.pc);
         if (line != cell.lastFetchLine) {
-            auto acc = cell.mem.fetchAccess(rec.pc);
+            auto acc = cell.mem.fetchAccess(rec.pc, cell.now);
             cell.lastFetchLine = line;
             if (acc.extraLatency > 0) {
                 cell.fetchStallUntil = cell.now + acc.extraLatency;

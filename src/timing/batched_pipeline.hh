@@ -80,16 +80,23 @@
 #include "mem/hierarchy.hh"
 #include "timing/branch_pred.hh"
 #include "timing/config.hh"
+#include "timing/model.hh"
 #include "timing/results.hh"
 #include "trace/sink.hh"
 
 namespace uasim::timing {
 
-class BatchedPipelineSim : public trace::TraceSink
+class BatchedPipelineSim : public BatchedTimingModel
 {
   public:
-    /// One machine state per entry of @p cfgs (duplicates allowed;
-    /// every cell is simulated independently).
+    /**
+     * One machine state per entry of @p cfgs (duplicates allowed;
+     * every cell is simulated independently). Precondition: every
+     * entry is a "pipeline" cell and all share one bpredLog2Entries
+     * (the shared mispredict precompute runs a single predictor) -
+     * makeBatchedTimingModel() routes any other group to the generic
+     * multiplexer instead of here.
+     */
     explicit BatchedPipelineSim(const std::vector<CoreConfig> &cfgs);
 
     /// TraceSink hook: feed one record to every cell.
@@ -104,9 +111,9 @@ class BatchedPipelineSim : public trace::TraceSink
      * Drain every cell and return per-cell results, in constructor
      * config order. Idempotent.
      */
-    std::vector<SimResult> finalizeAll();
+    std::vector<SimResult> finalizeAll() override;
 
-    int cellCount() const { return int(cells_.size()); }
+    int cellCount() const override { return int(cells_.size()); }
 
   private:
     enum class State : std::uint8_t { Waiting, Issued };

@@ -1,6 +1,60 @@
 #include "timing/config.hh"
 
+#include <stdexcept>
+
 namespace uasim::timing {
+
+namespace {
+
+void
+requirePositive(const char *field, int v)
+{
+    if (v < 1) {
+        throw std::invalid_argument(
+            std::string("CoreConfig: ") + field + " must be >= 1");
+    }
+}
+
+} // namespace
+
+void
+CoreConfig::validate() const
+{
+    requirePositive("fetchWidth", fetchWidth);
+    requirePositive("retireWidth", retireWidth);
+    requirePositive("inflight", inflight);
+    requirePositive("issueQ", issueQ);
+    requirePositive("branchQ", branchQ);
+    requirePositive("ibuffer", ibuffer);
+    requirePositive("storeQ", storeQ);
+    requirePositive("dReadPorts", dReadPorts);
+    requirePositive("dWritePorts", dWritePorts);
+    requirePositive("missMax", missMax);
+    requirePositive("inorderLookahead", inorderLookahead);
+    if (bpredLog2Entries < 1 || bpredLog2Entries > 28) {
+        throw std::invalid_argument(
+            "CoreConfig: bpredLog2Entries out of range [1, 28]");
+    }
+    if (storeSetLog2 < 1 || storeSetLog2 > 28) {
+        throw std::invalid_argument(
+            "CoreConfig: storeSetLog2 out of range [1, 28]");
+    }
+    if (issueWidth < 0) {
+        throw std::invalid_argument(
+            "CoreConfig: issueWidth must be >= 0 (0 = fetchWidth)");
+    }
+    if (memReplayPenalty < 0) {
+        throw std::invalid_argument(
+            "CoreConfig: memReplayPenalty must be >= 0");
+    }
+    if (model.empty())
+        throw std::invalid_argument("CoreConfig: empty model name");
+    if (mem.memBWBytesPerCycle < 0) {
+        throw std::invalid_argument(
+            "CoreConfig: mem.memBWBytesPerCycle must be >= 0 "
+            "(0 = unthrottled)");
+    }
+}
 
 CoreConfig
 CoreConfig::twoWayInOrder()

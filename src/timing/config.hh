@@ -52,6 +52,13 @@ struct UnitConfig {
 /// One simulated core (one column of Table II).
 struct CoreConfig {
     std::string name = "2w";
+    /**
+     * Timing backend simulating this core (the makeTimingModel()
+     * factory key, see timing/model.hh): "pipeline" is the paper's
+     * Turandot-like in-flight-window model, "ooo" the ROB/issue-queue
+     * out-of-order core with store-set dependence prediction.
+     */
+    std::string model = "pipeline";
     bool outOfOrder = false;
     /**
      * In-order static-scheduling window: an in-order core may issue a
@@ -75,8 +82,55 @@ struct CoreConfig {
     int dWritePorts = 1;
     int missMax = 2;       //!< outstanding D-cache misses (MSHRs)
     int storeQ = 16;
+    /**
+     * Branch-predictor table size (log2 of 2-bit-counter entries).
+     * The Table II machines all use the 4K-entry gshare default;
+     * sweepable per cell like every other knob.
+     */
+    int bpredLog2Entries = 12;
+    /**
+     * Issue width of the "ooo" backend; 0 (the default) couples it to
+     * fetchWidth, as the "pipeline" backend always does.
+     */
+    int issueWidth = 0;
+    /// Store-set SSIT size (log2 of entries) of the "ooo" backend's
+    /// memory-dependence predictor.
+    int storeSetLog2 = 10;
+    /**
+     * Deterministic extra load latency charged by the "ooo" backend
+     * when a load speculates past an older overlapping store (a
+     * memory-order violation that would squash and replay the load on
+     * real hardware; the violation also trains the store-set table so
+     * later instances of the pair wait instead).
+     */
+    int memReplayPenalty = 7;
     LatencyConfig lat;
     mem::HierarchyConfig mem;
+
+    /**
+     * Reject impossible configurations (non-positive widths, queue or
+     * port counts, out-of-range predictor sizes) with
+     * std::invalid_argument naming the offending field. Every timing
+     * backend calls this at construction, so a malformed sweep cell
+     * fails loudly in any model instead of deadlocking or silently
+     * misbehaving in one of them.
+     */
+    void validate() const;
+
+    /**
+     * The PR 5 deadlock rule, shared by every backend's load-issue
+     * path: under serialized banks (mem.parallelBanks == false) a
+     * line-crossing load occupies a second D-cache read port in the
+     * same cycle - but only on a machine that has one. A single-ported
+     * core serializes the second bank access in the load pipe instead;
+     * demanding two ports of a one-port machine would make the load
+     * permanently unissuable and deadlock the ROB.
+     */
+    bool
+    crossingLoadNeedsSecondPort() const
+    {
+        return !mem.parallelBanks && dReadPorts >= 2;
+    }
 
     /// Table II, 2-way in-order column.
     static CoreConfig twoWayInOrder();

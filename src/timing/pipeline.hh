@@ -32,12 +32,13 @@
 #include "mem/hierarchy.hh"
 #include "timing/branch_pred.hh"
 #include "timing/config.hh"
+#include "timing/model.hh"
 #include "timing/results.hh"
 #include "trace/sink.hh"
 
 namespace uasim::timing {
 
-class PipelineSim : public trace::TraceSink
+class PipelineSim : public TimingModel
 {
   public:
     explicit PipelineSim(const CoreConfig &cfg);
@@ -49,12 +50,12 @@ class PipelineSim : public trace::TraceSink
     void feed(const trace::InstrRecord &rec);
 
     /// Drain the machine and return the final statistics.
-    SimResult finalize();
+    SimResult finalize() override;
 
     /// Cycles elapsed so far (monotonic during feeding).
     std::uint64_t now() const { return now_; }
 
-    const CoreConfig &config() const { return cfg_; }
+    const CoreConfig &config() const override { return cfg_; }
     mem::MemoryHierarchy &memory() { return mem_; }
 
   private:

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "timing/branch_pred.hh"
 #include "trace/trace_io.hh"
 #include "timing/pipeline.hh"
@@ -405,6 +407,73 @@ TEST(Pipeline, ReadyRingScalesWithInflight)
     auto base = runIndependent(CoreConfig::fourWayOoO(),
                                InstrClass::IntAlu, n);
     EXPECT_LE(wide.cycles, base.cycles);
+}
+
+TEST(Pipeline, PredictorSizeDefaultMatchesTableII)
+{
+    // The paper's predictor (4K-entry gshare) is shared by all three
+    // Table II machines; making the size sweepable must not move the
+    // default out from under the published figures.
+    EXPECT_EQ(CoreConfig{}.bpredLog2Entries, 12);
+    EXPECT_EQ(CoreConfig::twoWayInOrder().bpredLog2Entries, 12);
+    EXPECT_EQ(CoreConfig::fourWayOoO().bpredLog2Entries, 12);
+    EXPECT_EQ(CoreConfig::eightWayOoO().bpredLog2Entries, 12);
+}
+
+TEST(Pipeline, PredictorSizeIsSweepable)
+{
+    // bpredLog2Entries plumbs through CoreConfig into the model: a
+    // 2-entry table cannot hold the history-disambiguated TTTN
+    // pattern that the Table II-sized table learns almost perfectly.
+    auto run = [](int log2) {
+        CoreConfig cfg = CoreConfig::fourWayOoO();
+        cfg.bpredLog2Entries = log2;
+        PipelineSim sim(cfg);
+        trace::Emitter em(sim);
+        for (int i = 0; i < 4000; ++i) {
+            em.emitBranch((i % 4) != 3,
+                          std::source_location::current());
+            em.emit(InstrClass::IntAlu,
+                    std::source_location::current());
+        }
+        return sim.finalize();
+    };
+    auto tiny = run(1);
+    auto tableII = run(12);
+    EXPECT_EQ(tiny.branches, tableII.branches);
+    EXPECT_GT(tiny.mispredicts, tableII.mispredicts + 200);
+    EXPECT_GT(tiny.cycles, tableII.cycles);
+}
+
+TEST(Pipeline, ValidateRejectsBadConfigs)
+{
+    EXPECT_NO_THROW(CoreConfig{}.validate());
+    EXPECT_NO_THROW(CoreConfig::eightWayOoO().validate());
+    auto bad = [](auto &&poke) {
+        CoreConfig cfg = CoreConfig::fourWayOoO();
+        poke(cfg);
+        return cfg;
+    };
+    EXPECT_THROW(bad([](CoreConfig &c) { c.fetchWidth = 0; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(bad([](CoreConfig &c) { c.bpredLog2Entries = 0; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(bad([](CoreConfig &c) { c.bpredLog2Entries = 40; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(bad([](CoreConfig &c) { c.storeSetLog2 = 0; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(bad([](CoreConfig &c) { c.model.clear(); })
+                     .validate(),
+                 std::invalid_argument);
+    // The constructor path must throw before sizing anything.
+    EXPECT_THROW(PipelineSim(bad([](CoreConfig &c) {
+                     c.inflight = 0;
+                 })),
+                 std::invalid_argument);
 }
 
 TEST(BranchPredictor, LearnsBias)

@@ -91,6 +91,30 @@ resolve(const fs::path &root, const std::string &name)
     return fs::is_directory(root) ? root / name : root;
 }
 
+/**
+ * " [model=NAME]" when the artifact at @p path parses and carries a
+ * "timing_model" param; empty otherwise. Cosmetic context for the
+ * mismatch lines (per-model artifacts of one bench differ only in
+ * this param and a filename suffix) - it never affects the diff
+ * status, so an unreadable artifact stays a plain MISSING/SCHEMA
+ * verdict from the usual paths.
+ */
+std::string
+modelTag(const fs::path &path)
+{
+    try {
+        const BenchResult r =
+            uasim::core::loadResultFile(path.string());
+        for (const auto &[key, value] : r.params) {
+            if (key == "timing_model" &&
+                value.type() == uasim::json::Value::Type::String)
+                return " [model=" + value.asString() + "]";
+        }
+    } catch (const std::exception &) {
+    }
+    return "";
+}
+
 std::optional<BenchResult>
 load(const fs::path &path, DiffStatus &status)
 {
@@ -250,17 +274,17 @@ main(int argc, char **argv)
         const fs::path basFile = resolve(basePath, name);
         const fs::path curFile = resolve(curPath, name);
         if (!fs::exists(basFile)) {
-            std::printf("MISSING BASE  %s (new bench? refresh with "
+            std::printf("MISSING BASE  %s%s (new bench? refresh with "
                         "--update-baselines)\n",
-                        name.c_str());
+                        name.c_str(), modelTag(curFile).c_str());
             status = uasim::core::worse(status, DiffStatus::Regression);
             ++regressions;
             continue;
         }
         if (!fs::exists(curFile)) {
-            std::printf("MISSING CUR   %s (bench no longer emits this "
-                        "artifact)\n",
-                        name.c_str());
+            std::printf("MISSING CUR   %s%s (bench no longer emits "
+                        "this artifact)\n",
+                        name.c_str(), modelTag(basFile).c_str());
             status = uasim::core::worse(status, DiffStatus::Regression);
             ++regressions;
             continue;
@@ -273,7 +297,8 @@ main(int argc, char **argv)
         if (report.status == DiffStatus::Match) {
             std::printf("OK            %s\n", name.c_str());
         } else {
-            std::printf("REGRESSION    %s\n", name.c_str());
+            std::printf("REGRESSION    %s%s\n", name.c_str(),
+                        modelTag(curFile).c_str());
             ++regressions;
         }
         for (const std::string &line : report.regressions)
