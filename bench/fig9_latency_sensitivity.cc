@@ -10,6 +10,15 @@
  * trace is recorded once and replayed into all five latency
  * configurations (the trace is configuration-independent), instead of
  * re-emulating it five times.
+ *
+ * --membw-sweep switches the swept axis from realignment latency to
+ * the memory-bus throttle: both variants replay at
+ * memBWBytesPerCycle in {0 (unthrottled), 8, 16, 32}, and each point
+ * reports the unaligned-over-Altivec speedup at that bandwidth. The
+ * unaligned variant issues more (and wider-miss) memory traffic, so
+ * a tighter bus squeezes its advantage - the axis PR 8's throttle
+ * knob exists for. A separate experiment, so a separate artifact:
+ * BENCH_fig9_membw_sweep[.<model>].json.
  */
 
 #include <cstdio>
@@ -23,10 +32,83 @@
 using namespace uasim;
 using h264::Variant;
 
+namespace {
+
+/// The --membw-sweep axis: unaligned-over-Altivec speedup per
+/// memory-bandwidth point instead of per extra-latency point.
+int
+runMembwSweep(int argc, char **argv, int execs)
+{
+    const int bws[] = {0, 8, 16, 32};
+    const int numBws = int(std::size(bws));
+
+    std::printf("== Fig 9 (memBW axis): speedup of the unaligned "
+                "version over plain\nAltivec under a "
+                "bytes-per-cycle memory-bus throttle ==\n(4-way "
+                "core, %d executions; bw0 is the unthrottled "
+                "bus)\n\n",
+                execs);
+
+    const auto grid = core::paperKernelGrid();
+
+    core::SweepPlan plan;
+    for (int bw : bws) {
+        auto cfg = timing::CoreConfig::fourWayOoO();
+        cfg.mem.memBWBytesPerCycle = bw;
+        plan.addConfig("bw" + std::to_string(bw), cfg);
+    }
+    // Unlike the latency axis, the throttle hits aligned and
+    // unaligned traffic alike, so BOTH variants replay at every
+    // bandwidth point and the ratio is taken per point.
+    for (const auto &spec : grid) {
+        int alt = plan.addTrace(
+            core::kernelTraceJob(spec, Variant::Altivec, execs));
+        int unal = plan.addTrace(
+            core::kernelTraceJob(spec, Variant::Unaligned, execs));
+        for (int b = 0; b < numBws; ++b) {
+            plan.addCell(alt, b);
+            plan.addCell(unal, b);
+        }
+    }
+
+    auto runner = bench::makeSweepRunner(argc, argv);
+    auto results = runner.run(plan);
+
+    auto artifact = bench::makeResult("fig9_membw_sweep", argc, argv);
+    artifact.addParam("execs", json::Value(execs));
+
+    core::TextTable t;
+    t.header({"kernel", "bw0", "bw8", "bw16", "bw32"});
+
+    for (int s = 0; s < int(grid.size()); ++s) {
+        const int rowBase = s * (2 * numBws);
+        std::vector<std::string> cells{grid[s].name()};
+        for (int b = 0; b < numBws; ++b) {
+            const auto &altivec = results[rowBase + 2 * b].sim;
+            const auto &unal = results[rowBase + 2 * b + 1].sim;
+            const double speedup =
+                double(altivec.cycles) / double(unal.cycles);
+            cells.push_back(core::fmt(speedup));
+            artifact.addMetric(grid[s].name() + "/bw" +
+                                   std::to_string(bws[b]),
+                               speedup);
+        }
+        t.row(cells);
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    bench::finishArtifact(argc, argv, artifact, results, runner);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const int execs = bench::sizeFlag(argc, argv, "--execs", 300, 8);
+    if (bench::boolFlag(argc, argv, "--membw-sweep"))
+        return runMembwSweep(argc, argv, execs);
     const int extras[] = {0, 1, 2, 4, 6};
     const int numExtras = int(std::size(extras));
 

@@ -9,11 +9,17 @@
 #   cmake -DBENCH_DIR=<bench bin dir> -DREPORT=<uasim-report>
 #         -DBASELINES=<repo baselines dir> -DWORK=<scratch dir>
 #         -DBENCHES=a,b,c -DCACHE_BENCHES=x,y -DOOO_BENCHES=x
+#         -DVARIANTS=bench/artifact/--flag
 #         [-DUPDATE=1] -P ResultsBaseline.cmake
 #
 # OOO_BENCHES additionally run under "--timing-model ooo"; their
 # model-suffixed BENCH_<bench>.ooo.json artifacts gate against their
 # own committed baselines.
+#
+# VARIANTS are flag-selected alternate experiments of an existing
+# bench ("bench/artifact/--flag" runs ${bench} --flag, which names its
+# own artifact BENCH_${artifact}.json). Each variant gates under BOTH
+# timing models, like an OOO_BENCHES entry.
 #
 # With -DUPDATE=1 the script regenerates the --threads 1 artifacts and
 # rewrites the baselines (uasim-report --update-baselines) instead of
@@ -28,6 +34,7 @@ endforeach()
 string(REPLACE "," ";" BENCHES "${BENCHES}")
 string(REPLACE "," ";" CACHE_BENCHES "${CACHE_BENCHES}")
 string(REPLACE "," ";" OOO_BENCHES "${OOO_BENCHES}")
+string(REPLACE "," ";" VARIANTS "${VARIANTS}")
 
 file(REMOVE_RECURSE ${WORK})
 
@@ -65,6 +72,32 @@ function(run_bench_model bench model outdir)
     endif()
 endfunction()
 
+# Run one "bench/artifact/--flag" variant on the given model (empty
+# model = default pipeline, unsuffixed artifact name).
+function(run_variant variant model outdir)
+    string(REPLACE "/" ";" parts "${variant}")
+    list(GET parts 0 bench)
+    list(GET parts 1 artifact)
+    list(GET parts 2 flag)
+    set(name BENCH_${artifact})
+    set(margs "")
+    if(model)
+        set(name ${name}.${model})
+        set(margs --timing-model ${model})
+    endif()
+    file(MAKE_DIRECTORY ${WORK}/${outdir})
+    execute_process(
+        COMMAND ${BENCH_DIR}/${bench} --quick ${flag} ${margs} ${ARGN}
+                --json ${WORK}/${outdir}/${name}.json
+        OUTPUT_QUIET
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${bench} --quick ${flag} ${margs} ${ARGN} exited ${rc}\n${err}")
+    endif()
+endfunction()
+
 # Diff two artifact sets with uasim-report; FATAL on any drift.
 function(check_report what base current)
     execute_process(
@@ -88,6 +121,10 @@ if(UPDATE)
     foreach(bench IN LISTS OOO_BENCHES)
         run_bench_model(${bench} ooo t1 --threads 1)
     endforeach()
+    foreach(variant IN LISTS VARIANTS)
+        run_variant(${variant} "" t1 --threads 1)
+        run_variant(${variant} ooo t1 --threads 1)
+    endforeach()
     execute_process(
         COMMAND ${REPORT} --update-baselines --prune ${BASELINES}
                 ${WORK}/t1
@@ -106,6 +143,12 @@ endforeach()
 foreach(bench IN LISTS OOO_BENCHES)
     run_bench_model(${bench} ooo t1 --threads 1)
     run_bench_model(${bench} ooo t4 --threads 4)
+endforeach()
+foreach(variant IN LISTS VARIANTS)
+    run_variant(${variant} "" t1 --threads 1)
+    run_variant(${variant} "" t4 --threads 4)
+    run_variant(${variant} ooo t1 --threads 1)
+    run_variant(${variant} ooo t4 --threads 4)
 endforeach()
 
 check_report("baselines vs --threads 1" ${BASELINES} ${WORK}/t1)

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <chrono>  // uasim-lint: allow(sim-determinism)
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -17,11 +17,14 @@ namespace uasim::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Wall-clock feeds only the *Seconds informational stats, never a
+// simulated counter: the artifact differ ignores these fields.
+using Clock = std::chrono::steady_clock;  // uasim-lint: allow(sim-determinism)
 
 double
 secondsSince(Clock::time_point start)
 {
+    // uasim-lint: allow(sim-determinism)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 

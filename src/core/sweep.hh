@@ -33,7 +33,7 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <unordered_map>  // uasim-lint: allow(sim-determinism)
 #include <vector>
 
 #include "core/experiment.hh"
@@ -133,7 +133,8 @@ class SweepPlan
     std::vector<TraceJob> traces_;
     std::vector<ConfigJob> configs_;
     std::vector<SweepCell> cells_;
-    std::unordered_map<std::string, int> traceIndex_;
+    // Key lookup only, never iterated: order cannot leak into results.
+    std::unordered_map<std::string, int> traceIndex_;  // uasim-lint: allow(sim-determinism)
 };
 
 /// Outcome of one grid point, in plan cell order.

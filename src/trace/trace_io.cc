@@ -264,7 +264,8 @@ FileSink::fail(const std::string &what)
 {
     failed_ = true;
     if (file_) {
-        std::fclose(file_);
+        // Already failing; a close error cannot add information.
+        (void)std::fclose(file_);
         file_ = nullptr;
     }
     throw std::runtime_error("FileSink: " + what + " for " + path_);
@@ -516,7 +517,7 @@ TraceReader::TraceReader(const std::string &path,
         ot.payloadHash) {
 #if UASIM_HAVE_MMAP
         if (mapBase_) {
-            ::munmap(mapBase_, mapLen_);
+            (void)::munmap(mapBase_, mapLen_);
             mapBase_ = nullptr;
         }
 #endif
@@ -529,7 +530,7 @@ TraceReader::~TraceReader()
 {
 #if UASIM_HAVE_MMAP
     if (mapBase_)
-        ::munmap(mapBase_, mapLen_);
+        (void)::munmap(mapBase_, mapLen_);
 #endif
 }
 

@@ -12,6 +12,7 @@ VecConstPool::instance()
 const std::uint8_t *
 VecConstPool::intern(const std::uint8_t *bytes)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &slot : slots_) {
         if (std::memcmp(slot.b, bytes, 16) == 0)
             return slot.b;

@@ -14,6 +14,7 @@
 
 #include <cstring>
 #include <deque>
+#include <mutex>
 
 #include "vmx/vecops.hh"
 
@@ -21,6 +22,13 @@ namespace uasim::vmx {
 
 /**
  * Process-wide interning pool of 16B-aligned vector constants.
+ *
+ * Thread-safe: sweep workers record traces concurrently and every
+ * kernel interns its tap constants. Interning is serialized by a
+ * mutex; the deque never invalidates slot addresses, so returned
+ * pointers stay valid without holding the lock. Slot *order* can
+ * vary with thread interleaving, which is fine - trace addresses are
+ * normalized per trace before any simulated counter sees them.
  */
 class VecConstPool
 {
@@ -35,6 +43,7 @@ class VecConstPool
         alignas(16) std::uint8_t b[16];
     };
 
+    std::mutex mutex_;
     std::deque<Slot> slots_;
 };
 

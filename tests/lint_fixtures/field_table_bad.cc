@@ -1,0 +1,34 @@
+// Known-bad [field-table]: `ghostCounter` is a SimResult counter
+// missing from the pointer-to-member field table, and `lostStat` is a
+// SweepStats counter that never appears as a serialized field name.
+// Scanned standalone (fixture mode), so these local struct
+// definitions are the whole world the rule sees.
+
+#include <cstdint>
+
+struct SimResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t ghostCounter = 0;
+
+    double ipc() const { return cycles ? 1.0 : 0.0; }
+};
+
+struct SimResultField {
+    const char *name;
+    std::uint64_t SimResult::*member;
+};
+
+inline constexpr SimResultField simFields[] = {
+    {"cycles", &SimResult::cycles},
+};
+
+struct SweepStats {
+    std::uint64_t cellsRun = 0;
+    std::uint64_t lostStat = 0;
+};
+
+inline const char *
+serializedName()
+{
+    return "cellsRun";
+}

@@ -1,0 +1,28 @@
+// Known-good [field-table]: every SimResult counter is tabled and
+// every SweepStats counter appears as a serialized field name.
+
+#include <cstdint>
+
+struct SimResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+
+    double ipc() const { return cycles ? 1.0 : 0.0; }
+};
+
+struct SimResultField {
+    const char *name;
+    std::uint64_t SimResult::*member;
+};
+
+inline constexpr SimResultField simFields[] = {
+    {"cycles", &SimResult::cycles},
+    {"instrs", &SimResult::instrs},
+};
+
+struct SweepStats {
+    std::uint64_t cellsRun = 0;
+    double wallSeconds = 0.0;
+};
+
+inline const char *serializedNames[] = {"cellsRun", "wallSeconds"};

@@ -1,0 +1,13 @@
+// Known-bad [isa-flags]: an intrinsics header and vector intrinsics
+// outside the designated src/trace/simd_decode_* tier TUs (scanned
+// --as src/core/fixture_isa.cc). The identical bytes scanned --as a
+// designated TU path are the matching known-good case.
+
+#include <immintrin.h>
+
+inline int
+sum16(const unsigned char *p)
+{
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    return _mm_extract_epi16(v, 0);
+}

@@ -1,0 +1,17 @@
+// Known-bad [sim-determinism]: wall-clock, libc randomness, and an
+// unordered container, all in what fixture mode presents as a
+// simulated path (scanned --as src/timing/fixture_determinism.cc).
+
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+inline double
+sampleWall()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return static_cast<double>(std::rand());
+}
+
+inline std::unordered_map<int, int> hotTable;

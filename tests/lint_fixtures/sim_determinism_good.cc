@@ -1,0 +1,22 @@
+// Known-good [sim-determinism]: deterministic code in a simulated
+// path, including near-miss identifiers the rule must not trip on
+// (a `time_` prefix member, "rand" inside a word and a comment, an
+// ordered map).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct ReplayState {
+    std::uint64_t time_budget_cycles = 0;  // not a time() call
+    std::map<std::string, int> index;      // ordered: iteration is stable
+};
+
+// The Turandot workload name contains "rand"; comments never match.
+inline std::uint64_t
+advance(ReplayState &st, std::uint64_t cycles)
+{
+    const std::string strand = "operand";  // identifiers neither
+    st.time_budget_cycles += cycles + strand.size();
+    return st.time_budget_cycles;
+}

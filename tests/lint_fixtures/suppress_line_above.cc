@@ -1,0 +1,12 @@
+// Suppression syntax, line-above form: an allow() comment directly
+// above the offending line also suppresses it.
+
+// Wall-clock feeds an informational field only.
+// uasim-lint: allow(sim-determinism)
+#include <chrono>
+
+inline double
+tick()
+{
+    return 2.0;
+}

@@ -1,0 +1,10 @@
+// Suppression syntax, same-line form: the allow() comment on the
+// offending line silences exactly that rule there.
+
+#include <chrono>  // uasim-lint: allow(sim-determinism)
+
+inline double
+tick()
+{
+    return 1.0;
+}

@@ -1,0 +1,10 @@
+// Suppression is per-rule: allowing checked-io does not silence the
+// sim-determinism finding on this line.
+
+#include <chrono>  // uasim-lint: allow(checked-io)
+
+inline double
+tick()
+{
+    return 3.0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * uasim-lint conformance: every rule fires on its known-bad fixture
+ * with the exact rule id and exit code, stays silent on the matching
+ * known-good fixture, and the suppression syntax silences exactly the
+ * named rule. Also covers the tool self-reports (`uasim-lint
+ * --version`, `uasim-report --version`) the CI lint job relies on.
+ *
+ * The fixtures live in tests/lint_fixtures/ and are scanned in
+ * fixture mode (`--as <vpath> <file>`): the vpath decides which rules
+ * are in scope, so one snippet can serve as known-bad under
+ * src/core/ and known-good under the designated decode-tier path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+    int exit = -1;
+    std::string out;
+};
+
+/// Run a shell command, capturing stdout+stderr and the exit code.
+RunResult
+run(const std::string &cmd)
+{
+    RunResult r;
+    std::FILE *p = ::popen((cmd + " 2>&1").c_str(), "r");
+    if (!p)
+        return r;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, p)) > 0)
+        r.out.append(buf, n);
+    const int st = ::pclose(p);
+    if (WIFEXITED(st))
+        r.exit = WEXITSTATUS(st);
+    return r;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(UASIM_LINT_FIXTURES) + "/" + name;
+}
+
+std::string
+lint(const std::string &args)
+{
+    return std::string(UASIM_LINT_BIN) + " " + args;
+}
+
+/// Occurrences of `needle` in `hay`.
+int
+countOf(const std::string &hay, const std::string &needle)
+{
+    int count = 0;
+    for (std::size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++count;
+    return count;
+}
+
+} // namespace
+
+TEST(LintTool, VersionAndRuleList)
+{
+    const RunResult v = run(lint("--version"));
+    EXPECT_EQ(v.exit, 0);
+    EXPECT_NE(v.out.find("uasim-lint"), std::string::npos);
+
+    const RunResult rules = run(lint("--list-rules"));
+    EXPECT_EQ(rules.exit, 0);
+    for (const char *r :
+         {"checked-io", "field-table", "isa-flags", "sim-determinism"})
+        EXPECT_NE(rules.out.find(r), std::string::npos) << r;
+}
+
+TEST(LintTool, UsageErrors)
+{
+    EXPECT_EQ(run(lint("")).exit, 2);
+    EXPECT_EQ(run(lint("--check bogus --as src/core/x.cc " +
+                       fixture("checked_io_good.cc")))
+                  .exit,
+              2);
+    EXPECT_EQ(run(lint("--compdb /nonexistent.json")).exit, 2);
+}
+
+TEST(LintTool, FieldTable)
+{
+    const RunResult bad = run(lint("--as src/timing/fx_results.hh " +
+                                   fixture("field_table_bad.cc")));
+    EXPECT_EQ(bad.exit, 1);
+    EXPECT_EQ(countOf(bad.out, "[field-table]"), 2);
+    EXPECT_NE(bad.out.find("ghostCounter"), std::string::npos);
+    EXPECT_NE(bad.out.find("lostStat"), std::string::npos);
+
+    const RunResult good = run(lint("--as src/timing/fx_results.hh " +
+                                    fixture("field_table_good.cc")));
+    EXPECT_EQ(good.exit, 0);
+    EXPECT_NE(good.out.find("clean"), std::string::npos);
+}
+
+TEST(LintTool, SimDeterminism)
+{
+    const RunResult bad =
+        run(lint("--as src/timing/fx_determinism.cc " +
+                 fixture("sim_determinism_bad.cc")));
+    EXPECT_EQ(bad.exit, 1);
+    EXPECT_EQ(countOf(bad.out, "[sim-determinism]"), 5);
+    // Exact finding lines: the two includes, the steady_clock use,
+    // the rand() call, and the unordered_map member.
+    for (const char *loc :
+         {"fx_determinism.cc:5:", "fx_determinism.cc:7:",
+          "fx_determinism.cc:12:", "fx_determinism.cc:14:",
+          "fx_determinism.cc:17:"})
+        EXPECT_NE(bad.out.find(loc), std::string::npos) << loc;
+
+    const RunResult good =
+        run(lint("--as src/timing/fx_determinism.cc " +
+                 fixture("sim_determinism_good.cc")));
+    EXPECT_EQ(good.exit, 0) << good.out;
+
+    // The same bad bytes outside a simulated path are out of scope.
+    const RunResult outside = run(lint(
+        "--as bench/fx_timer.cc " + fixture("sim_determinism_bad.cc")));
+    EXPECT_EQ(outside.exit, 0) << outside.out;
+}
+
+TEST(LintTool, CheckedIo)
+{
+    const RunResult bad = run(lint("--as src/trace/fx_io.cc " +
+                                   fixture("checked_io_bad.cc")));
+    EXPECT_EQ(bad.exit, 1);
+    EXPECT_EQ(countOf(bad.out, "[checked-io]"), 3);
+    EXPECT_NE(bad.out.find("fwrite()"), std::string::npos);
+    EXPECT_NE(bad.out.find("fclose()"), std::string::npos);
+    EXPECT_NE(bad.out.find("munmap()"), std::string::npos);
+
+    const RunResult good = run(lint("--as src/trace/fx_io.cc " +
+                                    fixture("checked_io_good.cc")));
+    EXPECT_EQ(good.exit, 0) << good.out;
+
+    // The discard rule is scoped to src/trace.
+    const RunResult outside = run(
+        lint("--as src/vmx/fx_io.cc " + fixture("checked_io_bad.cc")));
+    EXPECT_EQ(outside.exit, 0) << outside.out;
+}
+
+TEST(LintTool, IsaFlags)
+{
+    const RunResult bad = run(lint("--as src/core/fx_isa.cc " +
+                                   fixture("isa_flags_bad.cc")));
+    EXPECT_EQ(bad.exit, 1);
+    EXPECT_EQ(countOf(bad.out, "[isa-flags]"), 3);
+    EXPECT_NE(bad.out.find("intrinsic"), std::string::npos);
+
+    // Identical bytes under a designated decode-tier vpath are fine.
+    const RunResult designated =
+        run(lint("--as src/trace/simd_decode_fx.cc " +
+                 fixture("isa_flags_bad.cc")));
+    EXPECT_EQ(designated.exit, 0) << designated.out;
+
+    // -m ISA compile flags outside a designated TU are findings even
+    // when the source itself is clean...
+    const RunResult flags =
+        run(lint("--flags \"-mavx2 -O2\" --as src/core/fx_isa2.cc " +
+                 fixture("checked_io_good.cc")));
+    EXPECT_EQ(flags.exit, 1);
+    EXPECT_EQ(countOf(flags.out, "[isa-flags]"), 1);
+    EXPECT_NE(flags.out.find("-mavx2"), std::string::npos);
+
+    // ...and accepted on the designated tier TUs.
+    const RunResult tierFlags = run(
+        lint("--flags \"-mavx2 -O2\" --as src/trace/simd_decode_fx.cc " +
+             fixture("checked_io_good.cc")));
+    EXPECT_EQ(tierFlags.exit, 0) << tierFlags.out;
+}
+
+TEST(LintTool, SuppressionSyntax)
+{
+    const RunResult same = run(lint("--as src/timing/fx_s1.cc " +
+                                    fixture("suppress_same_line.cc")));
+    EXPECT_EQ(same.exit, 0) << same.out;
+
+    const RunResult above = run(lint(
+        "--as src/timing/fx_s2.cc " + fixture("suppress_line_above.cc")));
+    EXPECT_EQ(above.exit, 0) << above.out;
+
+    // allow(<other-rule>) must not silence a different rule.
+    const RunResult wrong = run(lint(
+        "--as src/timing/fx_s3.cc " + fixture("suppress_wrong_rule.cc")));
+    EXPECT_EQ(wrong.exit, 1);
+    EXPECT_EQ(countOf(wrong.out, "[sim-determinism]"), 1);
+}
+
+TEST(LintTool, CheckFilterSelectsOneRule)
+{
+    // The bad determinism fixture is clean under --check checked-io.
+    const RunResult filtered =
+        run(lint("--check checked-io --as src/timing/fx_determinism.cc " +
+                 fixture("sim_determinism_bad.cc")));
+    EXPECT_EQ(filtered.exit, 0) << filtered.out;
+}
+
+TEST(ReportTool, VersionSelfReport)
+{
+    const RunResult v =
+        run(std::string(UASIM_REPORT_BIN) + " --version");
+    EXPECT_EQ(v.exit, 0);
+    EXPECT_NE(v.out.find("uasim-report"), std::string::npos);
+    // The self-report names the artifact schema it gates.
+    EXPECT_NE(v.out.find("uasim-bench-result"), std::string::npos);
+    EXPECT_NE(v.out.find("schema"), std::string::npos);
+}

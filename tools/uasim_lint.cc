@@ -1,0 +1,1000 @@
+/**
+ * @file
+ * uasim-lint: the repo-specific invariant checker (the rules generic
+ * tools cannot express; see docs/INVARIANTS.md for each rule's why).
+ *
+ * Driven by the build's compile_commands.json: every translation unit
+ * under the repo root is scanned (plus the headers under src/, tools/
+ * and bench/, which have no compile-db entry of their own), and each
+ * rule applies to the repo paths it governs:
+ *
+ *   field-table      every counter member of timing::SimResult must
+ *                    appear in the one simResultFields() table, and
+ *                    every counter member of core::SweepStats must
+ *                    appear as a serialized field name. A counter
+ *                    that exists but is absent from the table would
+ *                    serialize (or not) without ever gating - the
+ *                    silent-corruption bug the PR 4 field-table
+ *                    design rule exists to prevent.
+ *   sim-determinism  no wall-clock, randomness, or unordered-
+ *                    container use inside simulated paths
+ *                    (src/timing, src/core/sweep.*,
+ *                    src/core/experiment.*). The only legitimate
+ *                    exceptions - wall-clock feeding the *Seconds
+ *                    informational stats - carry a visible
+ *                    suppression comment.
+ *   isa-flags        vector intrinsics and -m ISA compile flags only
+ *                    in the designated per-tier decode TUs
+ *                    (src/trace/simd_decode_*.cc), so no other TU
+ *                    can silently require a wider ISA than the
+ *                    runtime dispatcher promises.
+ *   checked-io       no discarded fwrite/fread/fseek/fflush/fclose/
+ *                    mmap/munmap/madvise return values in src/trace
+ *                    (the PR 3 checked-I/O-only rule). An explicit
+ *                    `(void)` cast is accepted: it is a visible,
+ *                    reviewable decision, not a silent one.
+ *
+ * Suppression syntax: a comment containing
+ *
+ *     uasim-lint: allow(<rule>[,<rule>...])
+ *
+ * on the same line as the finding, or on the line directly above it,
+ * suppresses that rule there - and only that rule, so exceptions stay
+ * visible (and greppable) in diffs.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *lintVersion = "1.0";
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> rules = {
+        "checked-io", "field-table", "isa-flags", "sim-determinism"};
+    return rules;
+}
+
+int
+usage(bool requested)
+{
+    std::fprintf(
+        requested ? stdout : stderr,
+        "usage: uasim-lint --compdb FILE [--root DIR] [--check RULE]...\n"
+        "       uasim-lint [--check RULE]... [--flags STR] --as VPATH "
+        "FILE [--as ...]\n"
+        "\n"
+        "  --compdb FILE   scan every repo TU of a "
+        "compile_commands.json\n"
+        "                  (plus src//tools//bench/ headers)\n"
+        "  --root DIR      repo root the compile-db paths are "
+        "relative to\n"
+        "                  (default: the compile-db's parent "
+        "directory's parent)\n"
+        "  --as VPATH FILE scan FILE as if it were repo path VPATH\n"
+        "                  (fixture mode; rules scope by VPATH)\n"
+        "  --flags STR     compile flags attributed to subsequent "
+        "--as files\n"
+        "  --check RULE    run only RULE (repeatable; default: all)\n"
+        "  --list-rules    print the rule ids and exit 0\n"
+        "  --version       print version + rule ids and exit 0\n"
+        "\n"
+        "exit codes: 0 clean, 1 findings, 2 usage/IO error\n");
+    return requested ? 0 : 2;
+}
+
+struct Finding {
+    std::string vpath;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        if (vpath != o.vpath)
+            return vpath < o.vpath;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/// One scanned source file: raw text, a same-length "stripped" copy
+/// with comments and string/char literals blanked (so patterns never
+/// match inside them), the per-line suppression sets parsed from the
+/// comments, and the collected string-literal contents.
+struct Source {
+    std::string vpath;       //!< repo-relative path (rule scoping key)
+    std::string flags;       //!< compile command (compile-db mode)
+    std::string raw;
+    std::string stripped;
+    std::vector<std::size_t> lineStart;  //!< offset of each line
+    /// line -> rules suppressed on that line (self or line-above).
+    std::map<int, std::set<std::string>> allow;
+    std::vector<std::string> literals;   //!< string-literal contents
+
+    int
+    lineOf(std::size_t off) const
+    {
+        auto it = std::upper_bound(lineStart.begin(), lineStart.end(),
+                                   off);
+        return int(it - lineStart.begin());
+    }
+
+    bool
+    allowed(int line, const std::string &rule) const
+    {
+        for (int l : {line, line - 1}) {
+            auto it = allow.find(l);
+            if (it != allow.end() && it->second.count(rule))
+                return true;
+        }
+        return false;
+    }
+};
+
+/// Parse "uasim-lint: allow(a,b)" occurrences out of a comment.
+void
+parseAllows(const std::string &comment, int firstLine, int lastLine,
+            std::map<int, std::set<std::string>> &allow)
+{
+    static const std::string marker = "uasim-lint: allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(marker, at)) != std::string::npos) {
+        const std::size_t open = at + marker.size();
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            break;
+        std::string inside = comment.substr(open, close - open);
+        std::string rule;
+        std::stringstream ss(inside);
+        while (std::getline(ss, rule, ',')) {
+            rule.erase(0, rule.find_first_not_of(" \t"));
+            rule.erase(rule.find_last_not_of(" \t") + 1);
+            if (rule.empty())
+                continue;
+            // The suppression covers every line the comment touches
+            // plus the next line (the comment-above form).
+            for (int l = firstLine; l <= lastLine + 1; ++l)
+                allow[l].insert(rule);
+        }
+        at = close;
+    }
+}
+
+/// Build .stripped/.allow/.literals from .raw.
+void
+stripSource(Source &src)
+{
+    const std::string &in = src.raw;
+    std::string out(in.size(), ' ');
+    src.lineStart.push_back(0);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        if (in[i] == '\n')
+            src.lineStart.push_back(i + 1);
+    }
+
+    enum class St { Code, Line, Block, Str, Chr };
+    St st = St::Code;
+    std::size_t tokStart = 0;  //!< start of current comment/literal
+    std::string tok;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                tokStart = i;
+                tok.clear();
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                tokStart = i;
+                tok.clear();
+                ++i;
+            } else if (c == '"') {
+                st = St::Str;
+                tok.clear();
+                out[i] = '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                out[i] = '\'';
+            } else {
+                out[i] = c;
+            }
+            break;
+        case St::Line:
+            if (c == '\n') {
+                out[i] = '\n';
+                parseAllows(tok, src.lineOf(tokStart),
+                            src.lineOf(tokStart), src.allow);
+                st = St::Code;
+            } else {
+                tok += c;
+            }
+            break;
+        case St::Block:
+            if (c == '*' && n == '/') {
+                parseAllows(tok, src.lineOf(tokStart), src.lineOf(i),
+                            src.allow);
+                ++i;
+                st = St::Code;
+            } else {
+                if (c == '\n')
+                    out[i] = '\n';
+                tok += c;
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && n != '\0') {
+                tok += c;
+                tok += n;
+                ++i;
+            } else if (c == '"') {
+                out[i] = '"';
+                src.literals.push_back(tok);
+                st = St::Code;
+            } else {
+                if (c == '\n')
+                    out[i] = '\n';
+                tok += c;
+            }
+            break;
+        case St::Chr:
+            if (c == '\\' && n != '\0') {
+                ++i;
+            } else if (c == '\'') {
+                out[i] = '\'';
+                st = St::Code;
+            } else if (c == '\n') {
+                out[i] = '\n';
+                st = St::Code;  // unterminated; resync
+            }
+            break;
+        }
+    }
+    if (st == St::Line)
+        parseAllows(tok, src.lineOf(tokStart), src.lineOf(tokStart),
+                    src.allow);
+    src.stripped = std::move(out);
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Offsets where identifier @p name occurs with word boundaries.
+std::vector<std::size_t>
+findIdent(const std::string &text, const std::string &name)
+{
+    std::vector<std::size_t> hits;
+    std::size_t at = 0;
+    while ((at = text.find(name, at)) != std::string::npos) {
+        const bool lb = at == 0 || !identChar(text[at - 1]);
+        const std::size_t end = at + name.size();
+        const bool rb = end >= text.size() || !identChar(text[end]);
+        if (lb && rb)
+            hits.push_back(at);
+        at = end;
+    }
+    return hits;
+}
+
+/// Is the identifier at @p at followed (past whitespace) by '('?
+bool
+isCall(const std::string &text, std::size_t at, std::size_t len)
+{
+    std::size_t i = at + len;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    return i < text.size() && text[i] == '(';
+}
+
+class Linter
+{
+  public:
+    std::set<std::string> checks;  //!< empty = all rules
+
+    void
+    addFinding(const Source &src, int line, const std::string &rule,
+               const std::string &msg)
+    {
+        if (!checks.empty() && !checks.count(rule))
+            return;
+        if (src.allowed(line, rule))
+            return;
+        findings_.insert({src.vpath, line, rule, msg});
+    }
+
+    bool
+    ruleEnabled(const std::string &rule) const
+    {
+        return checks.empty() || checks.count(rule);
+    }
+
+    void checkSimDeterminism(const Source &src);
+    void checkIsaFlags(const Source &src);
+    void checkCheckedIo(const Source &src);
+    void checkFieldTable(const std::vector<Source> &sources);
+
+    void
+    run(std::vector<Source> &sources)
+    {
+        for (Source &src : sources) {
+            stripSource(src);
+            checkSimDeterminism(src);
+            checkIsaFlags(src);
+            checkCheckedIo(src);
+        }
+        checkFieldTable(sources);
+    }
+
+    int
+    report() const
+    {
+        for (const Finding &f : findings_) {
+            std::printf("%s:%d: [%s] %s\n", f.vpath.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        }
+        return findings_.empty() ? 0 : 1;
+    }
+
+    std::size_t count() const { return findings_.size(); }
+
+  private:
+    std::set<Finding> findings_;
+};
+
+// ---------------------------------------------------------------------------
+// sim-determinism
+// ---------------------------------------------------------------------------
+
+bool
+inSimScope(const std::string &vpath)
+{
+    return vpath.rfind("src/timing/", 0) == 0 ||
+           vpath.rfind("src/core/sweep.", 0) == 0 ||
+           vpath.rfind("src/core/experiment.", 0) == 0;
+}
+
+void
+Linter::checkSimDeterminism(const Source &src)
+{
+    if (!ruleEnabled("sim-determinism") || !inSimScope(src.vpath))
+        return;
+
+    static const char *substrings[][2] = {
+        {"std::chrono", "wall-clock (std::chrono)"},
+        {"steady_clock", "wall-clock (steady_clock)"},
+        {"system_clock", "wall-clock (system_clock)"},
+        {"high_resolution_clock", "wall-clock (high_resolution_clock)"},
+        {"random_device", "nondeterministic seed (random_device)"},
+        {"mt19937", "RNG engine (mt19937)"},
+        {"default_random_engine", "RNG engine (default_random_engine)"},
+        {"std::unordered_",
+         "unordered container (iteration order is host-dependent)"},
+    };
+    static const char *includes[] = {"<chrono>", "<ctime>", "<random>",
+                                     "<unordered_map>",
+                                     "<unordered_set>"};
+    static const char *calls[] = {"time",       "clock",
+                                  "rand",       "srand",
+                                  "rand_r",     "drand48",
+                                  "random",     "clock_gettime",
+                                  "gettimeofday"};
+
+    std::set<int> flagged;  // one finding per line keeps output stable
+    auto flag = [&](std::size_t off, const std::string &what) {
+        const int line = src.lineOf(off);
+        if (!flagged.insert(line).second)
+            return;
+        addFinding(src, line, "sim-determinism",
+                   what + " in a simulated path; only the *Seconds "
+                          "informational stats may touch wall-clock "
+                          "(suppress with // uasim-lint: "
+                          "allow(sim-determinism))");
+    };
+
+    const std::string &text = src.stripped;
+    for (const auto &[pat, what] : substrings) {
+        std::size_t at = 0;
+        const std::string p = pat;
+        while ((at = text.find(p, at)) != std::string::npos) {
+            // Word boundary on the left so e.g. "Xsteady_clock" or a
+            // comment-stripped blank never splits oddly.
+            if (at == 0 || !identChar(text[at - 1]))
+                flag(at, what);
+            at += p.size();
+        }
+    }
+    for (const char *inc : includes) {
+        std::size_t at = 0;
+        const std::string p = inc;
+        while ((at = text.find(p, at)) != std::string::npos) {
+            // Only as an #include target.
+            const int line = src.lineOf(at);
+            const std::size_t ls = src.lineStart[line - 1];
+            const std::string_view lv(text.data() + ls, at - ls);
+            if (lv.find('#') != std::string_view::npos &&
+                lv.find("include") != std::string_view::npos)
+                flag(at, "#include " + p);
+            at += p.size();
+        }
+    }
+    for (const char *fn : calls) {
+        for (std::size_t at : findIdent(text, fn)) {
+            if (isCall(text, at, std::strlen(fn)))
+                flag(at, std::string(fn) + "() call");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// isa-flags
+// ---------------------------------------------------------------------------
+
+bool
+isDesignatedSimdTU(const std::string &vpath)
+{
+    return vpath.rfind("src/trace/simd_decode_", 0) == 0;
+}
+
+void
+Linter::checkIsaFlags(const Source &src)
+{
+    if (!ruleEnabled("isa-flags") || isDesignatedSimdTU(src.vpath))
+        return;
+
+    // Per-TU compile flags (compile-db or --flags): any -m ISA flag
+    // outside the designated tier TUs makes the whole binary require
+    // that ISA, defeating the runtime dispatcher.
+    if (!src.flags.empty()) {
+        std::stringstream ss(src.flags);
+        std::string tok;
+        while (ss >> tok) {
+            if (tok.size() > 2 && tok[0] == '-' && tok[1] == 'm') {
+                addFinding(src, 1, "isa-flags",
+                           "ISA compile flag " + tok +
+                               " outside the designated "
+                               "src/trace/simd_decode_* tier TUs");
+            }
+        }
+    }
+
+    const std::string &text = src.stripped;
+    static const char *incpats[] = {"intrin.h>", "arm_neon.h>"};
+    for (const char *inc : incpats) {
+        std::size_t at = 0;
+        while ((at = text.find(inc, at)) != std::string::npos) {
+            addFinding(src, src.lineOf(at), "isa-flags",
+                       "vector-intrinsics header include outside the "
+                       "designated src/trace/simd_decode_* tier TUs");
+            at += std::strlen(inc);
+        }
+    }
+    static const char *prefixes[] = {"_mm_",   "_mm256_", "_mm512_",
+                                     "vld1",   "vst1",    "_pext_",
+                                     "_pdep_", "_bzhi_",  "_tzcnt_"};
+    std::set<int> flagged;
+    for (const char *pre : prefixes) {
+        std::size_t at = 0;
+        const std::string p = pre;
+        while ((at = text.find(p, at)) != std::string::npos) {
+            if (at == 0 || !identChar(text[at - 1])) {
+                const int line = src.lineOf(at);
+                if (flagged.insert(line).second) {
+                    addFinding(src, line, "isa-flags",
+                               "vector intrinsic (" + p +
+                                   "...) outside the designated "
+                                   "src/trace/simd_decode_* tier TUs");
+                }
+            }
+            at += p.size();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checked-io
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkCheckedIo(const Source &src)
+{
+    if (!ruleEnabled("checked-io") ||
+        src.vpath.rfind("src/trace/", 0) != 0)
+        return;
+
+    static const char *fns[] = {"fwrite", "fread",  "fseek",
+                                "fflush", "fclose", "mmap",
+                                "munmap", "madvise"};
+    const std::string &text = src.stripped;
+    for (const char *fn : fns) {
+        for (std::size_t at : findIdent(text, fn)) {
+            if (!isCall(text, at, std::strlen(fn)))
+                continue;
+            // Walk back over a std:: / :: qualifier.
+            std::size_t s = at;
+            if (s >= 2 && text[s - 1] == ':' && text[s - 2] == ':') {
+                s -= 2;
+                if (s >= 3 && text.compare(s - 3, 3, "std") == 0)
+                    s -= 3;
+            }
+            // Previous significant character decides whether the
+            // return value is consumed.
+            std::size_t p = s;
+            while (p > 0 &&
+                   std::isspace(static_cast<unsigned char>(text[p - 1])))
+                --p;
+            const char prev = p == 0 ? ';' : text[p - 1];
+            bool discarded = prev == ';' || prev == '{' || prev == '}';
+            if (!discarded && identChar(prev)) {
+                // An unbraced `else fclose(f);` / `do fclose(f);`
+                // body is still a discarded statement.
+                std::size_t e = p;
+                std::size_t b = e;
+                while (b > 0 && identChar(text[b - 1]))
+                    --b;
+                const std::string word = text.substr(b, e - b);
+                discarded = word == "else" || word == "do";
+            }
+            if (!discarded && prev == ')') {
+                // Walk back over the paren group: the unbraced body
+                // of `if (...) fclose(f);` is discarded too, while a
+                // call argument or a `(void)` cast consumes it.
+                std::size_t q = p - 1;  // at ')'
+                int depth = 1;
+                while (q > 0 && depth > 0) {
+                    --q;
+                    if (text[q] == ')')
+                        ++depth;
+                    else if (text[q] == '(')
+                        --depth;
+                }
+                if (depth == 0) {
+                    std::size_t e = q;
+                    while (e > 0 &&
+                           std::isspace(static_cast<unsigned char>(
+                               text[e - 1])))
+                        --e;
+                    std::size_t b = e;
+                    while (b > 0 && identChar(text[b - 1]))
+                        --b;
+                    const std::string word = text.substr(b, e - b);
+                    discarded = word == "if" || word == "while" ||
+                                word == "for";
+                }
+            }
+            if (!discarded)
+                continue;  // value is consumed (=/!=/return/(void)/...)
+            addFinding(src, src.lineOf(at), "checked-io",
+                       std::string(fn) +
+                           "() return value discarded in src/trace "
+                           "(check it, or make the discard explicit "
+                           "with (void))");
+        }
+    }
+
+    // `(void)` casts never reach here: the significant char before
+    // the call is then ')' whose paren group is preceded by no
+    // keyword, which the consume test above accepts.
+}
+
+// ---------------------------------------------------------------------------
+// field-table
+// ---------------------------------------------------------------------------
+
+struct Member {
+    std::string name;
+    std::string vpath;
+    int line = 0;
+};
+
+/// Counter members (integral/double, non-function) declared at depth
+/// 1 of `struct <structName> { ... }` in @p src.
+std::vector<Member>
+structCounters(const Source &src, const std::string &structName)
+{
+    std::vector<Member> members;
+    const std::string &text = src.stripped;
+    const std::string key = "struct " + structName;
+    for (std::size_t at : findIdent(text, key)) {
+        std::size_t open = text.find('{', at + key.size());
+        // Reject forward declarations and pointers-to-member like
+        // `&SimResult::x` (no brace before the next ';').
+        const std::size_t semi = text.find(';', at + key.size());
+        if (open == std::string::npos ||
+            (semi != std::string::npos && semi < open))
+            continue;
+        int depth = 1;
+        std::size_t stmt = open + 1;
+        for (std::size_t i = open + 1; i < text.size() && depth > 0;
+             ++i) {
+            const char c = text[i];
+            if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                --depth;
+                stmt = i + 1;
+            } else if (c == ';' && depth == 1) {
+                const std::string decl =
+                    text.substr(stmt, i - stmt);
+                const std::size_t declOff = stmt;
+                stmt = i + 1;
+                if (decl.find('(') != std::string::npos)
+                    continue;  // method or function pointer
+                const bool counter =
+                    decl.find("int") != std::string::npos ||
+                    decl.find("double") != std::string::npos;
+                if (!counter)
+                    continue;
+                // Member name: the identifier before '=' (or the
+                // trailing identifier when there is no initializer).
+                std::string d = decl;
+                const std::size_t eq = d.find('=');
+                if (eq != std::string::npos)
+                    d = d.substr(0, eq);
+                std::size_t e = d.find_last_not_of(" \t\n");
+                if (e == std::string::npos)
+                    continue;
+                std::size_t b = e;
+                while (b > 0 && identChar(d[b - 1]))
+                    --b;
+                if (!identChar(d[e]))
+                    continue;
+                std::string name = d.substr(b, e - b + 1);
+                if (name.empty() ||
+                    std::isdigit(static_cast<unsigned char>(name[0])))
+                    continue;
+                members.push_back(
+                    {std::move(name), src.vpath,
+                     src.lineOf(declOff + decl.find_first_not_of(
+                                              " \t\n"))});
+            }
+        }
+    }
+    return members;
+}
+
+void
+Linter::checkFieldTable(const std::vector<Source> &sources)
+{
+    if (!ruleEnabled("field-table"))
+        return;
+
+    // SimResult: every counter must be listed as
+    // &[timing::]SimResult::<name> (the simResultFields() table).
+    std::vector<Member> simMembers;
+    std::set<std::string> tabled;
+    std::vector<Member> statMembers;
+    std::set<std::string> literals;
+    for (const Source &src : sources) {
+        for (Member &m : structCounters(src, "SimResult"))
+            simMembers.push_back(std::move(m));
+        for (Member &m : structCounters(src, "SweepStats"))
+            statMembers.push_back(std::move(m));
+        const std::string &text = src.stripped;
+        static const std::string ptr = "SimResult::";
+        std::size_t at = 0;
+        while ((at = text.find(ptr, at)) != std::string::npos) {
+            // Must be a pointer-to-member expression: an '&' starts
+            // the qualified name ("&timing::SimResult::x" or
+            // "&SimResult::x").
+            std::size_t b = at;
+            while (b > 0 && (identChar(text[b - 1]) ||
+                             text[b - 1] == ':'))
+                --b;
+            while (b > 0 && std::isspace(
+                                static_cast<unsigned char>(text[b - 1])))
+                --b;
+            if (b > 0 && text[b - 1] == '&') {
+                std::size_t e = at + ptr.size();
+                std::size_t i = e;
+                while (i < text.size() && identChar(text[i]))
+                    ++i;
+                if (i > e)
+                    tabled.insert(text.substr(e, i - e));
+            }
+            at += ptr.size();
+        }
+        for (const std::string &lit : src.literals)
+            literals.insert(lit);
+    }
+
+    if (!simMembers.empty()) {
+        if (tabled.empty()) {
+            addFinding(*std::find_if(sources.begin(), sources.end(),
+                                     [&](const Source &s) {
+                                         return s.vpath ==
+                                                simMembers[0].vpath;
+                                     }),
+                       simMembers[0].line, "field-table",
+                       "struct SimResult found but no "
+                       "simResultFields() table entries "
+                       "(&SimResult::<member>) in the scanned set");
+        } else {
+            for (const Member &m : simMembers) {
+                if (tabled.count(m.name))
+                    continue;
+                auto it = std::find_if(sources.begin(), sources.end(),
+                                       [&](const Source &s) {
+                                           return s.vpath == m.vpath;
+                                       });
+                addFinding(*it, m.line, "field-table",
+                           "SimResult counter '" + m.name +
+                               "' missing from the simResultFields() "
+                               "table: it would never gate in "
+                               "uasim-report or the cross-engine "
+                               "differential tests");
+            }
+        }
+    }
+
+    // SweepStats: every counter must appear as a serialized field
+    // name (a string literal) somewhere in the scanned set - a stat
+    // that never reaches the artifact is invisible to the baselines.
+    for (const Member &m : statMembers) {
+        if (literals.count(m.name))
+            continue;
+        auto it = std::find_if(sources.begin(), sources.end(),
+                               [&](const Source &s) {
+                                   return s.vpath == m.vpath;
+                               });
+        addFinding(*it, m.line, "field-table",
+                   "SweepStats counter '" + m.name +
+                       "' is never serialized (no \"" + m.name +
+                       "\" field name in the scanned set): add it to "
+                       "the BenchResult stats block");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input assembly
+// ---------------------------------------------------------------------------
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/// Repo-relative forward-slash path, or "" when @p f is outside root.
+std::string
+relativeTo(const fs::path &root, const fs::path &f)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(f, root, ec);
+    if (ec || rel.empty())
+        return "";
+    const std::string s = rel.generic_string();
+    if (s.rfind("..", 0) == 0)
+        return "";
+    return s;
+}
+
+/// Load the compile-db TUs under @p root plus the headers of the
+/// linted layers. @return false on a parse/read error.
+bool
+loadCompdb(const fs::path &compdb, const fs::path &root,
+           std::vector<Source> &sources)
+{
+    std::string text;
+    if (!readFile(compdb, text)) {
+        std::fprintf(stderr, "uasim-lint: cannot read %s\n",
+                     compdb.string().c_str());
+        return false;
+    }
+    std::map<std::string, std::string> tus;  // vpath -> flags
+    try {
+        const uasim::json::Value db = uasim::json::parse(text);
+        for (const uasim::json::Value &e : db.asArray()) {
+            const uasim::json::Object &o = e.asObject();
+            const uasim::json::Value *fileV = o.find("file");
+            const uasim::json::Value *dirV = o.find("directory");
+            if (!fileV)
+                continue;
+            fs::path f = fileV->asString();
+            if (f.is_relative() && dirV)
+                f = fs::path(dirV->asString()) / f;
+            f = f.lexically_normal();
+            const std::string vpath = relativeTo(root, f);
+            if (vpath.empty() || vpath.rfind("build", 0) == 0 ||
+                vpath.find("/_deps/") != std::string::npos)
+                continue;
+            std::string flags;
+            if (const uasim::json::Value *cmd = o.find("command")) {
+                flags = cmd->asString();
+            } else if (const uasim::json::Value *args =
+                           o.find("arguments")) {
+                for (const uasim::json::Value &a : args->asArray()) {
+                    flags += a.asString();
+                    flags += ' ';
+                }
+            }
+            tus.emplace(vpath, std::move(flags));
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "uasim-lint: %s: %s\n",
+                     compdb.string().c_str(), e.what());
+        return false;
+    }
+
+    // Headers have no compile-db entry; walk the linted layers.
+    for (const char *dir : {"src", "tools", "bench"}) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(base);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".hh" && ext != ".h" && ext != ".hpp")
+                continue;
+            const std::string vpath = relativeTo(root, it->path());
+            if (!vpath.empty())
+                tus.emplace(vpath, "");
+        }
+    }
+
+    for (const auto &[vpath, flags] : tus) {
+        Source src;
+        src.vpath = vpath;
+        src.flags = flags;
+        if (!readFile(root / vpath, src.raw)) {
+            std::fprintf(stderr, "uasim-lint: cannot read %s\n",
+                         (root / vpath).string().c_str());
+            return false;
+        }
+        sources.push_back(std::move(src));
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string compdb;
+    std::string rootArg;
+    std::string flags;
+    Linter linter;
+    std::vector<Source> sources;
+    bool fixtureMode = false;
+
+    if (argc < 2)
+        return usage(/*requested=*/false);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto operand = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "uasim-lint: %s: missing operand\n", what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            return usage(/*requested=*/true);
+        } else if (arg == "--version") {
+            std::string rules;
+            for (const std::string &r : ruleNames()) {
+                if (!rules.empty())
+                    rules += ", ";
+                rules += r;
+            }
+            std::printf("uasim-lint %s (rules: %s)\n", lintVersion,
+                        rules.c_str());
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : ruleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (arg == "--compdb") {
+            compdb = operand("--compdb");
+        } else if (arg == "--root") {
+            rootArg = operand("--root");
+        } else if (arg == "--flags") {
+            flags = operand("--flags");
+        } else if (arg == "--check") {
+            const std::string rule = operand("--check");
+            if (std::find(ruleNames().begin(), ruleNames().end(),
+                          rule) == ruleNames().end()) {
+                std::fprintf(stderr,
+                             "uasim-lint: unknown rule \"%s\" (see "
+                             "--list-rules)\n",
+                             rule.c_str());
+                return 2;
+            }
+            linter.checks.insert(rule);
+        } else if (arg == "--as") {
+            const std::string vpath = operand("--as");
+            const char *file = operand("--as");
+            Source src;
+            src.vpath = vpath;
+            src.flags = flags;
+            if (!readFile(file, src.raw)) {
+                std::fprintf(stderr,
+                             "uasim-lint: cannot read %s\n", file);
+                return 2;
+            }
+            sources.push_back(std::move(src));
+            fixtureMode = true;
+        } else {
+            std::fprintf(stderr,
+                         "uasim-lint: unknown argument \"%s\"\n",
+                         arg.c_str());
+            return usage(/*requested=*/false);
+        }
+    }
+
+    if (!fixtureMode) {
+        if (compdb.empty())
+            return usage(/*requested=*/false);
+        const fs::path db = fs::path(compdb).lexically_normal();
+        fs::path root;
+        if (!rootArg.empty()) {
+            root = fs::path(rootArg);
+        } else {
+            // build/compile_commands.json -> the repo root is the
+            // build dir's parent.
+            root = db.parent_path().parent_path();
+        }
+        std::error_code ec;
+        root = fs::canonical(root, ec);
+        if (ec) {
+            std::fprintf(stderr, "uasim-lint: bad root %s\n",
+                         rootArg.c_str());
+            return 2;
+        }
+        if (!loadCompdb(db, root, sources))
+            return 2;
+    } else if (!compdb.empty()) {
+        std::fprintf(stderr,
+                     "uasim-lint: --compdb and --as are exclusive\n");
+        return 2;
+    }
+
+    linter.run(sources);
+    const int rc = linter.report();
+    if (rc == 0) {
+        std::printf("uasim-lint: clean (%zu files scanned)\n",
+                    sources.size());
+    } else {
+        std::printf("uasim-lint: %zu finding(s)\n", linter.count());
+    }
+    return rc;
+}

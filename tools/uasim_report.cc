@@ -57,6 +57,8 @@ usage(const char *argv0, bool requested)
         "                      baselines absent from CURRENT (full-set\n"
         "                      refresh; without it a partial CURRENT\n"
         "                      only touches its own artifacts)\n"
+        "  --version           print the tool version and the\n"
+        "                      artifact schema it gates, then exit 0\n"
         "\n"
         "exit codes: 0 match, 1 regression, 2 schema error\n",
         argv0);
@@ -214,6 +216,14 @@ main(int argc, char **argv)
             prune = true;
         else if (std::strcmp(argv[i], "--help") == 0)
             return usage(argv[0], /*requested=*/true);
+        else if (std::strcmp(argv[i], "--version") == 0) {
+            // Self-report for CI logs and artifact consumers: which
+            // schema this differ understands and gates.
+            std::printf("uasim-report %s (schema %s v%d)\n",
+                        UASIM_REPORT_VERSION, BenchResult::schemaName,
+                        BenchResult::schemaVersion);
+            return 0;
+        }
         else
             positional.push_back(argv[i]);
     }
