@@ -10,6 +10,7 @@
 #         -DBASELINES=<repo baselines dir> -DWORK=<scratch dir>
 #         -DBENCHES=a,b,c -DCACHE_BENCHES=x,y -DOOO_BENCHES=x
 #         -DVARIANTS=bench/artifact/--flag
+#         -DSWEEP=<uasim-sweep> -DCAMPAIGNS=a.conf,b.conf
 #         [-DUPDATE=1] -P ResultsBaseline.cmake
 #
 # OOO_BENCHES additionally run under "--timing-model ooo"; their
@@ -35,6 +36,7 @@ string(REPLACE "," ";" BENCHES "${BENCHES}")
 string(REPLACE "," ";" CACHE_BENCHES "${CACHE_BENCHES}")
 string(REPLACE "," ";" OOO_BENCHES "${OOO_BENCHES}")
 string(REPLACE "," ";" VARIANTS "${VARIANTS}")
+string(REPLACE "," ";" CAMPAIGNS "${CAMPAIGNS}")
 
 file(REMOVE_RECURSE ${WORK})
 
@@ -98,6 +100,23 @@ function(run_variant variant model outdir)
     endif()
 endfunction()
 
+# Run one committed campaign file (-DCAMPAIGNS, -DSWEEP) through
+# uasim-sweep; its BENCH_<campaign>.json lands in the same artifact
+# set and gates against baselines/ with the bench artifacts.
+function(run_campaign conf outdir)
+    file(MAKE_DIRECTORY ${WORK}/${outdir})
+    execute_process(
+        COMMAND ${SWEEP} run ${conf} ${ARGN}
+                --json ${WORK}/${outdir}
+        OUTPUT_QUIET
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "uasim-sweep run ${conf} ${ARGN} exited ${rc}\n${err}")
+    endif()
+endfunction()
+
 # Diff two artifact sets with uasim-report; FATAL on any drift.
 function(check_report what base current)
     execute_process(
@@ -125,6 +144,9 @@ if(UPDATE)
         run_variant(${variant} "" t1 --threads 1)
         run_variant(${variant} ooo t1 --threads 1)
     endforeach()
+    foreach(conf IN LISTS CAMPAIGNS)
+        run_campaign(${conf} t1 --threads 1)
+    endforeach()
     execute_process(
         COMMAND ${REPORT} --update-baselines --prune ${BASELINES}
                 ${WORK}/t1
@@ -149,6 +171,10 @@ foreach(variant IN LISTS VARIANTS)
     run_variant(${variant} "" t4 --threads 4)
     run_variant(${variant} ooo t1 --threads 1)
     run_variant(${variant} ooo t4 --threads 4)
+endforeach()
+foreach(conf IN LISTS CAMPAIGNS)
+    run_campaign(${conf} t1 --threads 1)
+    run_campaign(${conf} t4 --threads 4)
 endforeach()
 
 check_report("baselines vs --threads 1" ${BASELINES} ${WORK}/t1)

@@ -1,0 +1,23 @@
+// Known-bad [sim-determinism] for the campaign layer: a chunk
+// scheduler that shuffles execution order with an RNG engine and
+// iterates published chunks from an unordered container - exactly the
+// nondeterminism the campaign scope extension exists to reject
+// (scanned --as src/core/campaign.cc and --as tools/uasim_sweep.cc by
+// lint_test).
+
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+inline std::unordered_set<std::string> publishedChunks;
+
+inline void
+shuffleChunks(std::vector<int> &chunks)
+{
+    std::mt19937 gen(std::random_device{}());
+    for (std::size_t i = chunks.size(); i > 1; --i) {
+        std::uniform_int_distribution<std::size_t> pick(0, i - 1);
+        std::swap(chunks[i - 1], chunks[pick(gen)]);
+    }
+}

@@ -133,6 +133,31 @@ TEST(LintTool, SimDeterminism)
     EXPECT_EQ(outside.exit, 0) << outside.out;
 }
 
+TEST(LintTool, SimDeterminismCampaignScope)
+{
+    // The campaign layer (library and driver) is inside the
+    // determinism scope: an RNG-shuffled chunk order and an unordered
+    // published-chunk set must be findings under both vpaths.
+    for (const char *vpath :
+         {"src/core/campaign.cc", "tools/uasim_sweep.cc"}) {
+        const RunResult bad =
+            run(lint(std::string("--as ") + vpath + " " +
+                     fixture("campaign_determinism_bad.cc")));
+        EXPECT_EQ(bad.exit, 1) << vpath;
+        EXPECT_GE(countOf(bad.out, "[sim-determinism]"), 3) << bad.out;
+        EXPECT_NE(bad.out.find("random_device"), std::string::npos)
+            << vpath;
+        EXPECT_NE(bad.out.find("unordered"), std::string::npos) << vpath;
+    }
+
+    // The same bytes under a non-campaign tools path stay out of
+    // scope (the extension covers the sweep driver, not every tool).
+    const RunResult outside =
+        run(lint("--as tools/uasim_report.cc " +
+                 fixture("campaign_determinism_bad.cc")));
+    EXPECT_EQ(outside.exit, 0) << outside.out;
+}
+
 TEST(LintTool, CheckedIo)
 {
     const RunResult bad = run(lint("--as src/trace/fx_io.cc " +

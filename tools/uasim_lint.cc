@@ -19,7 +19,8 @@
  *   sim-determinism  no wall-clock, randomness, or unordered-
  *                    container use inside simulated paths
  *                    (src/timing, src/core/sweep.*,
- *                    src/core/experiment.*). The only legitimate
+ *                    src/core/experiment.*, src/core/campaign.*,
+ *                    tools/uasim_sweep*). The only legitimate
  *                    exceptions - wall-clock feeding the *Seconds
  *                    informational stats - carry a visible
  *                    suppression comment.
@@ -379,7 +380,14 @@ inSimScope(const std::string &vpath)
 {
     return vpath.rfind("src/timing/", 0) == 0 ||
            vpath.rfind("src/core/sweep.", 0) == 0 ||
-           vpath.rfind("src/core/experiment.", 0) == 0;
+           vpath.rfind("src/core/experiment.", 0) == 0 ||
+           // The campaign layer expands grids and addresses chunks by
+           // content hash: expansion order, shard assignment, and
+           // artifact identity must be pure functions of the campaign
+           // text, so the whole layer (library + driver) stays inside
+           // the determinism rule.
+           vpath.rfind("src/core/campaign.", 0) == 0 ||
+           vpath.rfind("tools/uasim_sweep", 0) == 0;
 }
 
 void
